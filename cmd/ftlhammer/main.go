@@ -1,0 +1,178 @@
+// Command ftlhammer runs a configurable FTL-rowhammer attack campaign
+// against the emulated multi-tenant SSD and reports the outcome.
+//
+// Example:
+//
+//	ftlhammer -profile testbed -cycles 20 -spray 3072 -amplify 5
+//	ftlhammer -profile weak -mitigation ecc
+//	ftlhammer -profile weak -mitigation trr -sync-decoys
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftlhammer/internal/cloud"
+	"ftlhammer/internal/core"
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/guard"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/sim"
+	"ftlhammer/internal/stats"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "weak", "DRAM profile: testbed | weak | invulnerable")
+		cycles     = flag.Int("cycles", 12, "maximum attack cycles")
+		sprayFiles = flag.Int("spray", 3072, "spray files per cycle")
+		targets    = flag.Int("targets", 64, "pointer targets per malicious block")
+		triples    = flag.Int("triples", 8, "triples hammered per cycle")
+		amplify    = flag.Int("amplify", 1, "firmware hammers per I/O (paper testbed: 5)")
+		mitigation = flag.String("mitigation", "none", "none | ecc | trr | para | refresh2x | cache | ratelimit | hashed | extent-only | guard")
+		syncDecoys = flag.Bool("sync-decoys", false, "REF-synchronized decoy reads (TRR bypass)")
+		hunt       = flag.String("hunt", "victim-data-block-", "content marker to hunt for")
+		seed       = flag.Uint64("seed", 0xBEEF, "simulation seed")
+		verbose    = flag.Bool("v", false, "print device statistics")
+	)
+	flag.Parse()
+
+	cfg := cloud.Config{
+		DRAM: dram.Config{
+			Geometry: dram.SSDGeometry(),
+			Mapping: dram.MapperConfig{
+				Twist:      dram.TwistInterleave,
+				TwistGroup: 8,
+				XorBank:    true,
+			},
+		},
+		FlashGeometry: nand.Geometry{
+			Channels:      4,
+			DiesPerChan:   2,
+			PlanesPerDie:  2,
+			BlocksPerPlan: 32,
+			PagesPerBlock: 256,
+			PageBytes:     4096,
+		},
+		VictimFillBlocks: 6144,
+		Seed:             *seed,
+	}
+	switch *profile {
+	case "testbed":
+		cfg.DRAM.Profile = dram.TestbedProfile()
+		cfg.DRAM.Mapping.TwistGroup = 16
+		cfg.FlashGeometry = nand.DefaultGeometry()
+	case "weak":
+		cfg.DRAM.Profile = dram.Profile{
+			Name:            "weak DDR (scaled)",
+			HCfirst:         24000,
+			ThresholdSigma:  0.1,
+			WeakCellsPerRow: 2.0,
+		}
+	case "invulnerable":
+		cfg.DRAM.Profile = dram.InvulnerableProfile()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	cfg.FTL.HammersPerIO = *amplify
+
+	switch *mitigation {
+	case "none":
+	case "ecc":
+		cfg.DRAM.ECC = true
+	case "trr":
+		cfg.DRAM.TRR = dram.DefaultTRR()
+	case "para":
+		cfg.DRAM.PARA = 0.02
+	case "refresh2x":
+		cfg.DRAM.RefreshWindow = 32 * sim.Millisecond
+	case "cache":
+		cfg.FTL.Cache.Enabled = true
+		cfg.FTL.Cache.Lines = 1024
+	case "ratelimit":
+		cfg.AttackerMaxIOPS = 100_000
+		cfg.VictimMaxIOPS = 100_000
+	case "hashed":
+		cfg.FTL.Hashed = true
+		cfg.FTL.HashKey = *seed ^ 0xD00D
+	case "extent-only":
+		cfg.ForbidIndirect = true
+	case "guard":
+		gcfg := guard.DefaultConfig()
+		cfg.Guard = &gcfg
+	default:
+		fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
+	}
+
+	fmt.Printf("building testbed: %s, amplification x%d, mitigation %s\n",
+		cfg.DRAM.Profile.Name, *amplify, *mitigation)
+	tb, err := cloud.NewTestbed(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	id := tb.Device.Identify()
+	fmt.Printf("device: %s — %.1f GiB, %d namespaces, %s L2P\n",
+		id.Model, float64(id.Capacity)/(1<<30), id.Namespaces, id.L2PKind)
+
+	camp, err := core.NewCampaign(tb, core.CampaignConfig{
+		SprayFiles:      *sprayFiles,
+		TargetsPerFile:  *targets,
+		MaxCycles:       *cycles,
+		TriplesPerCycle: *triples,
+		Hammer:          core.HammerOptions{SyncDecoy: *syncDecoys},
+		Hunt:            *hunt,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := camp.Run()
+	if err != nil {
+		fmt.Printf("campaign stopped: %v\n", err)
+	}
+	fmt.Printf("\ncycles:          %d\n", rep.Cycles)
+	fmt.Printf("spray files:     %d\n", rep.SpraysCreated)
+	fmt.Printf("hammer reads:    %d\n", rep.HammerReads)
+	fmt.Printf("bitflips:        %d\n", rep.FlipsInduced)
+	fmt.Printf("leaks detected:  %d\n", rep.LeaksDetected)
+	fmt.Printf("blocks dumped:   %d\n", rep.BlocksDumped)
+	fmt.Printf("virtual elapsed: %v\n", rep.Elapsed)
+	if rep.SecretFound {
+		excerpt := rep.SecretContent
+		if len(excerpt) > 40 {
+			excerpt = excerpt[:40]
+		}
+		fmt.Printf("RESULT: victim data LEAKED: %q...\n", excerpt)
+	} else {
+		fmt.Println("RESULT: no leak (attack unsuccessful under this configuration)")
+	}
+	if g := tb.Device.Guard(); g != nil {
+		fmt.Printf("guard: attacker-ns violations=%d, victim-ns violations=%d\n",
+			g.Violations(tb.AttackerNS.ID), g.Violations(tb.VictimNS.ID))
+	}
+	if *verbose && len(tb.DRAM.Flips()) > 1 {
+		var gaps stats.Sample
+		evs := tb.DRAM.Flips()
+		for i := 1; i < len(evs); i++ {
+			gaps.Add(evs[i].Time.Sub(evs[i-1].Time).Seconds())
+		}
+		fmt.Printf("inter-flip interval: median %.3fs p90 %.3fs max %.3fs (virtual)\n",
+			gaps.Median(), gaps.Percentile(90), gaps.Max())
+	}
+	if *verbose {
+		ds := tb.DRAM.Stats()
+		fmt.Printf("\nDRAM: activations=%d rowHits=%d flips=%d TRR=%d PARA=%d eccCorrected=%d eccFatal=%d\n",
+			ds.Activations, ds.RowHits, ds.Flips, ds.TRRRefreshes, ds.PARARefreshes, ds.ECCCorrected, ds.ECCUncorrected)
+		fs := tb.FTL.Stats()
+		fmt.Printf("FTL: hostReads=%d hostWrites=%d trims=%d gcRuns=%d moved=%d corruptReads=%d WA=%.2f\n",
+			fs.HostReads, fs.HostWrites, fs.Trims, fs.GCRuns, fs.GCPagesMoved, fs.CorruptReads, tb.FTL.WriteAmplification())
+		ns := tb.Flash.Stats()
+		fmt.Printf("NAND: reads=%d programs=%d erases=%d wearMax=%d\n",
+			ns.Reads, ns.Programs, ns.Erases, ns.WearMax)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftlhammer:", err)
+	os.Exit(1)
+}

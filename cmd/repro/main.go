@@ -1,0 +1,65 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -list                 # enumerate experiments
+//	repro -exp table1           # run one experiment
+//	repro -all                  # run everything (paper order)
+//	repro -all -full            # full-scale populations (slower)
+//
+// Each experiment prints the paper's reported values next to the
+// simulation's measured values so shapes can be compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftlhammer/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		expID = flag.String("exp", "", "run a single experiment by id")
+		all   = flag.Bool("all", false, "run every experiment in paper order")
+		full  = flag.Bool("full", false, "full-scale populations instead of quick mode")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-12s %-10s %s\n", "id", "ref", "title")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %-10s %s\n", e.ID, e.Ref, e.Title)
+		}
+	case *expID != "":
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		runOne(e, !*full)
+	case *all:
+		for _, e := range experiments.All() {
+			runOne(e, !*full)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, quick bool) {
+	start := time.Now()
+	if err := e.Run(os.Stdout, quick); err != nil {
+		fatal(fmt.Errorf("%s (%s): %w", e.ID, e.Ref, err))
+	}
+	fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package ftlhammer is a full reproduction of "Rowhammering Storage
+// Devices" (Zhang, Pismenny, Porter, Tsafrir, Zuck — HotStorage '21): an
+// emulated SSD stack — DRAM with a rowhammer fault model, NAND flash, a
+// page-mapped FTL whose L2P table lives in that DRAM, an NVMe-style
+// multi-tenant front end, and a simplified on-disk ext4 — plus the paper's
+// attack toolkit, which flips bits in the device's translation table using
+// nothing but ordinary reads and writes.
+//
+// Start with DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results, `go run ./cmd/repro -all` to regenerate every
+// table and figure, and examples/quickstart for the API tour. The root
+// package carries the benchmark harness (bench_test.go); the
+// implementation lives under internal/.
+package ftlhammer

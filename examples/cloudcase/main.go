@@ -1,0 +1,25 @@
+// Cloudcase: the paper's Figure 2 question — can the attack run directly
+// from the unprivileged process inside the victim VM (setup a), or is a
+// helper attacker VM with direct device access needed (setup b)? The
+// answer depends on the achievable L2P access rate on each path versus the
+// DRAM's flip threshold, which this example measures on the paper-faithful
+// testbed (3 M activations/s threshold, x5 firmware amplification).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ftlhammer/internal/experiments"
+)
+
+func main() {
+	if err := experiments.Figure2(os.Stdout, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := experiments.Escalation(os.Stdout, true); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+// Mitigations: the paper's §5 discussion as a runnable ablation. Each
+// candidate defence is applied to the same device and probed with the same
+// standardized attack: ECC corrects, plain TRR blocks (until synchronized
+// decoys bypass it), PARA blocks, doubled refresh alone is not enough,
+// an FTL-side L2P cache absorbs the activations, rate limiting starves the
+// attack, and the structural defences (keyed hashed L2P, extent-only ext4)
+// stop the offline analysis and the spraying stages outright.
+package main
+
+import (
+	"log"
+	"os"
+
+	"ftlhammer/internal/experiments"
+)
+
+func main() {
+	if err := experiments.Mitigations5(os.Stdout, true); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ftlhammer
+
+go 1.22

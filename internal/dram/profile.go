@@ -1,0 +1,103 @@
+package dram
+
+import "fmt"
+
+// Profile captures the disturbance-error characteristics of one DRAM
+// generation. The key parameter is HCfirst: the minimal number of
+// neighbour-row activations within one refresh window needed to flip the
+// weakest cells. The paper's Table 1 reports these as minimal *access
+// rates* (K accesses/s); with a 64 ms refresh window the two are related by
+//
+//	HCfirst = rate[K/s] * 1000 * 0.064
+//
+// which is how every profile below is calibrated.
+type Profile struct {
+	// Name identifies the profile ("DDR4 (new)").
+	Name string
+	// Year is the publication year of the measurement (Table 1 rows).
+	Year int
+	// MinRateKps is the reported minimal access rate in thousands of
+	// accesses per second (the Table 1 "rate" column).
+	MinRateKps int
+	// HCfirst is the minimal disturbance count within one 64 ms refresh
+	// window that flips the weakest cells.
+	HCfirst uint64
+	// ThresholdSigma is the spread of per-cell thresholds above HCfirst.
+	ThresholdSigma float64
+	// WeakCellsPerRow is the expected number of rowhammer-susceptible
+	// cells per row (Poisson mean). Manufacturing variation: most rows
+	// have none.
+	WeakCellsPerRow float64
+}
+
+// hcFirstForRate converts a Table 1 rate (K accesses/s) to an in-window
+// disturbance count assuming the standard 64 ms refresh window.
+func hcFirstForRate(rateKps int) uint64 {
+	return uint64(rateKps) * 1000 * 64 / 1000 // rate/s * 0.064s
+}
+
+// newTableProfile builds a Table 1 row.
+func newTableProfile(name string, year, rateKps int, weakPerRow float64) Profile {
+	return Profile{
+		Name:            name,
+		Year:            year,
+		MinRateKps:      rateKps,
+		HCfirst:         hcFirstForRate(rateKps),
+		ThresholdSigma:  0.25,
+		WeakCellsPerRow: weakPerRow,
+	}
+}
+
+// Table1Profiles returns the fourteen DRAM module populations of the
+// paper's Table 1, in table order. Weak-cell densities follow the
+// literature's qualitative trend: newer, denser nodes have more
+// disturbance-prone cells.
+func Table1Profiles() []Profile {
+	return []Profile{
+		newTableProfile("DDR3", 2014, 2200, 0.5),
+		newTableProfile("DDR3", 2014, 2500, 0.5),
+		newTableProfile("DDR3", 2014, 4400, 0.3),
+		newTableProfile("DDR3", 2016, 672, 0.8),
+		newTableProfile("LPDDR3", 2016, 4000, 0.3),
+		newTableProfile("DDR3", 2018, 9400, 0.2),
+		newTableProfile("DDR4", 2018, 6140, 0.2),
+		newTableProfile("DDR4", 2020, 800, 0.8),
+		newTableProfile("DDR3 (old)", 2020, 4800, 0.3),
+		newTableProfile("DDR3 (new)", 2020, 750, 0.8),
+		newTableProfile("DDR4 (old)", 2020, 547, 1.0),
+		newTableProfile("DDR4 (new)", 2020, 313, 1.5),
+		newTableProfile("LPDDR4 (old)", 2020, 1400, 0.6),
+		newTableProfile("LPDDR4 (new)", 2020, 150, 2.0),
+	}
+}
+
+// TestbedProfile models the paper's §4.1 testbed DIMMs: Samsung DDR3 on an
+// i7-2600, "known to be vulnerable", showing bitflips from direct accesses
+// at 3 M/s (HCfirst = 192000 per 64 ms window).
+func TestbedProfile() Profile {
+	return Profile{
+		Name:            "Testbed DDR3 (Samsung, i7-2600 host)",
+		Year:            2021,
+		MinRateKps:      3000,
+		HCfirst:         hcFirstForRate(3000),
+		ThresholdSigma:  0.25,
+		WeakCellsPerRow: 0.8,
+	}
+}
+
+// InvulnerableProfile has no weak cells at all; useful as a control.
+func InvulnerableProfile() Profile {
+	return Profile{
+		Name:            "invulnerable",
+		Year:            0,
+		MinRateKps:      0,
+		HCfirst:         1 << 62,
+		ThresholdSigma:  0,
+		WeakCellsPerRow: 0,
+	}
+}
+
+// String renders the profile as a Table 1 style row.
+func (p Profile) String() string {
+	return fmt.Sprintf("%d %-14s %5dK acc/s (HCfirst %d)", p.Year, p.Name, p.MinRateKps, p.HCfirst)
+}

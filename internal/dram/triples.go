@@ -1,0 +1,136 @@
+package dram
+
+import "sort"
+
+// Region is a physical address range [Base, Base+Size).
+type Region struct {
+	Base, Size uint64
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// Triple is a candidate double-sided hammering configuration: two
+// aggressor rows physically sandwiching a victim row within one bank, with
+// the addresses the attacker can drive (aggressors) and the addresses that
+// would be corrupted (victim). The §4.2 cross-partition analysis looks for
+// triples whose aggressors hold attacker-partition L2P entries while the
+// victim row holds victim-partition entries.
+type Triple struct {
+	// Channel/DIMM/Rank/Bank identify the bank.
+	Channel, DIMM, Rank, Bank int
+	// VictimRow is the physical row index between the aggressors.
+	VictimRow int
+	// AggRows are the two aggressor physical rows (VictimRow∓1).
+	AggRows [2]int
+	// AggAddrs lists, per aggressor row, the in-region addresses owned
+	// by the hammering party.
+	AggAddrs [2][]uint64
+	// VictimAddrs lists the in-region victim-owned addresses in the
+	// victim row.
+	VictimAddrs []uint64
+}
+
+// FlatBank returns the dense bank index of the triple under geometry g.
+func (t Triple) FlatBank(g Geometry) int {
+	return g.FlatBank(Location{Channel: t.Channel, DIMM: t.DIMM, Rank: t.Rank, Bank: t.Bank})
+}
+
+type bankKey struct {
+	ch, dimm, rank, bank int
+}
+
+type rowOwners struct {
+	// addrsByOwner maps an owner id to the region addresses (at line
+	// granularity) it holds in this row.
+	addrsByOwner map[int][]uint64
+}
+
+// FindCrossPartitionTriples enumerates a physical region at line
+// granularity and returns all (aggressor, victim, aggressor) row triples
+// where both aggressor rows contain addresses owned by `attacker` and the
+// victim row contains addresses owned by `victim`, according to owner().
+//
+// owner receives a physical address within the region and returns an owner
+// id (or a negative value for unowned space). The result is sorted by
+// bank, then victim row, for reproducibility.
+func FindCrossPartitionTriples(m *Mapper, region Region, owner func(addr uint64) int, attacker, victim int) []Triple {
+	banks := make(map[bankKey]map[int]*rowOwners)
+	for addr := region.Base; addr < region.Base+region.Size; addr += lineBytes {
+		own := owner(addr)
+		if own < 0 {
+			continue
+		}
+		loc := m.Map(addr)
+		key := bankKey{loc.Channel, loc.DIMM, loc.Rank, loc.Bank}
+		rows, ok := banks[key]
+		if !ok {
+			rows = make(map[int]*rowOwners)
+			banks[key] = rows
+		}
+		ro, ok := rows[loc.Row]
+		if !ok {
+			ro = &rowOwners{addrsByOwner: make(map[int][]uint64)}
+			rows[loc.Row] = ro
+		}
+		ro.addrsByOwner[own] = append(ro.addrsByOwner[own], addr)
+	}
+
+	var out []Triple
+	for key, rows := range banks {
+		rowIdxs := make([]int, 0, len(rows))
+		for r := range rows {
+			rowIdxs = append(rowIdxs, r)
+		}
+		sort.Ints(rowIdxs)
+		for _, v := range rowIdxs {
+			lo, okLo := rows[v-1]
+			hi, okHi := rows[v+1]
+			if !okLo || !okHi {
+				continue
+			}
+			vict := rows[v].addrsByOwner[victim]
+			aggLo := lo.addrsByOwner[attacker]
+			aggHi := hi.addrsByOwner[attacker]
+			if len(vict) == 0 || len(aggLo) == 0 || len(aggHi) == 0 {
+				continue
+			}
+			out = append(out, Triple{
+				Channel:     key.ch,
+				DIMM:        key.dimm,
+				Rank:        key.rank,
+				Bank:        key.bank,
+				VictimRow:   v,
+				AggRows:     [2]int{v - 1, v + 1},
+				AggAddrs:    [2][]uint64{aggLo, aggHi},
+				VictimAddrs: vict,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.DIMM != b.DIMM {
+			return a.DIMM < b.DIMM
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		return a.VictimRow < b.VictimRow
+	})
+	return out
+}
+
+// FindSameOwnerTriples is the single-tenant variant: all three rows hold
+// addresses owned by the same party (the Figure 1 setting, where the
+// attacker hammers entries of its own files).
+func FindSameOwnerTriples(m *Mapper, region Region, owner func(addr uint64) int, id int) []Triple {
+	return FindCrossPartitionTriples(m, region, owner, id, id)
+}

@@ -1,0 +1,145 @@
+// Package ecc implements the single-error-correct, double-error-detect
+// (SEC-DED) Hamming(72,64) code used by ECC DRAM modules: 64 data bits are
+// protected by 8 check bits. It is the "strengthen ECC" mitigation from §5
+// of the paper — a single rowhammer bitflip inside one 64-bit word is
+// silently corrected, and two flips in the same word are detected (the
+// device can fail the read loudly instead of silently serving corrupted
+// translations).
+package ecc
+
+import "math/bits"
+
+// Status is the outcome of decoding a codeword.
+type Status int
+
+const (
+	// OK means the codeword was clean.
+	OK Status = iota
+	// Corrected means a single-bit error (in data or check bits) was
+	// detected and corrected.
+	Corrected
+	// Uncorrectable means a double-bit (or detectable multi-bit) error was
+	// found; the returned data must not be trusted.
+	Uncorrectable
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return "invalid"
+	}
+}
+
+// The code uses the textbook extended-Hamming layout: codeword positions
+// 1..71 hold the 7 Hamming check bits at the power-of-two positions
+// (1,2,4,8,16,32,64) and the 64 data bits at the remaining positions; an
+// overall parity bit (position 0) extends the distance to 4 for DED.
+
+// dataPositions[i] is the codeword position of data bit i.
+var dataPositions = func() [64]uint8 {
+	var p [64]uint8
+	i := 0
+	for pos := 1; pos < 128 && i < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit position
+			continue
+		}
+		p[i] = uint8(pos)
+		i++
+	}
+	if i != 64 {
+		panic("ecc: layout construction failed")
+	}
+	return p
+}()
+
+// positionOfData maps a codeword position back to the data bit index, or
+// 0xff for check-bit positions.
+var positionOfData = func() [128]uint8 {
+	var m [128]uint8
+	for i := range m {
+		m[i] = 0xff
+	}
+	for i, pos := range dataPositions {
+		m[pos] = uint8(i)
+	}
+	return m
+}()
+
+// syndromeOf computes the Hamming syndrome (XOR of the positions of all set
+// bits) plus the total number of set bits, over data laid out at
+// dataPositions and check bits at power-of-two positions.
+func syndromeOf(data uint64, check uint8) (syndrome uint8, ones int) {
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) != 0 {
+			syndrome ^= dataPositions[i]
+			ones++
+		}
+	}
+	// Check bits: bit j of check sits at codeword position 1<<j for
+	// j=0..6; check bit 7 is the overall parity at position 0 and does
+	// not contribute to the syndrome.
+	for j := 0; j < 7; j++ {
+		if check&(1<<uint(j)) != 0 {
+			syndrome ^= 1 << uint(j)
+			ones++
+		}
+	}
+	if check&0x80 != 0 {
+		ones++
+	}
+	return syndrome, ones
+}
+
+// Encode returns the 8 check bits protecting the 64-bit data word.
+func Encode(data uint64) uint8 {
+	var syndrome uint8
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) != 0 {
+			syndrome ^= dataPositions[i]
+			ones++
+		}
+	}
+	// Choose Hamming check bits so the total syndrome is zero.
+	check := syndrome
+	ones += bits.OnesCount8(check & 0x7f)
+	// Overall parity makes the weight of the full 72-bit codeword even.
+	if ones%2 == 1 {
+		check |= 0x80
+	}
+	return check
+}
+
+// Decode validates data against its check bits. It returns the corrected
+// data word, the position information, and a Status. On Uncorrectable the
+// original data is returned unmodified.
+func Decode(data uint64, check uint8) (uint64, Status) {
+	syndrome, ones := syndromeOf(data, check)
+	parityOK := ones%2 == 0
+	switch {
+	case syndrome == 0 && parityOK:
+		return data, OK
+	case syndrome == 0 && !parityOK:
+		// The overall parity bit itself flipped; data is intact.
+		return data, Corrected
+	case !parityOK:
+		// Single-bit error at codeword position `syndrome`.
+		if int(syndrome) >= len(positionOfData) {
+			return data, Uncorrectable
+		}
+		if di := positionOfData[syndrome]; di != 0xff {
+			return data ^ (1 << uint(di)), Corrected
+		}
+		// Error in a check bit; data is intact.
+		return data, Corrected
+	default:
+		// Non-zero syndrome with even parity: double-bit error.
+		return data, Uncorrectable
+	}
+}

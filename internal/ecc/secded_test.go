@@ -1,0 +1,119 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		check := Encode(data)
+		got, st := Decode(data, check)
+		return st == OK && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleDataBitCorrected(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		b := uint(bit % 64)
+		check := Encode(data)
+		corrupted := data ^ (1 << b)
+		got, st := Decode(corrupted, check)
+		return st == Corrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleCheckBitCorrected(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		b := uint(bit % 8)
+		check := Encode(data)
+		got, st := Decode(data, check^(1<<b))
+		return st == Corrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleDataBitDetected(t *testing.T) {
+	f := func(data uint64, b1, b2 uint8) bool {
+		x, y := uint(b1%64), uint(b2%64)
+		if x == y {
+			return true
+		}
+		check := Encode(data)
+		corrupted := data ^ (1 << x) ^ (1 << y)
+		_, st := Decode(corrupted, check)
+		return st == Uncorrectable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataPlusCheckBitDetected(t *testing.T) {
+	f := func(data uint64, db, cb uint8) bool {
+		x, y := uint(db%64), uint(cb%7) // hamming check bits only
+		check := Encode(data)
+		corrupted := data ^ (1 << x)
+		_, st := Decode(corrupted, check^(1<<y))
+		// Data bit + check bit is still a double error => detected, OR the
+		// pair aliases to a correctable pattern only if they cancel, which
+		// cannot happen for distinct positions.
+		return st == Uncorrectable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWord(t *testing.T) {
+	check := Encode(0)
+	if check != 0 {
+		t.Fatalf("Encode(0) = %#x, want 0", check)
+	}
+	if _, st := Decode(0, 0); st != OK {
+		t.Fatalf("Decode(0,0) status = %v, want OK", st)
+	}
+}
+
+func TestAllOnesWord(t *testing.T) {
+	data := ^uint64(0)
+	check := Encode(data)
+	got, st := Decode(data, check)
+	if st != OK || got != data {
+		t.Fatalf("all-ones round trip failed: st=%v", st)
+	}
+	got, st = Decode(data^(1<<63), check)
+	if st != Corrected || got != data {
+		t.Fatalf("all-ones single-flip: st=%v got=%#x", st, got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		Uncorrectable.String() != "uncorrectable" || Status(99).String() != "invalid" {
+		t.Fatal("Status.String mismatch")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	data := uint64(0xdeadbeefcafef00d)
+	check := Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Decode(data, check)
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/sim"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+//
+//   - hammer sidedness: double-sided vs single-sided vs one-location,
+//     under open-row and closed-row controller policies (§3.1: "a
+//     one-location variant can be simpler to implement on a device with
+//     sufficient throughput"; single-sided "flips fewer bits in
+//     practice");
+//   - distance-two (half-double style) coupling, the successor technique
+//     the paper cites as [42];
+//   - firmware amplification factor (x1/x2/x5, §4.1);
+//   - linear vs hashed L2P lookup cost (the price of the §5 randomization
+//     mitigation).
+func Ablations(w io.Writer, quick bool) error {
+	section(w, "Ablations", "design-choice studies")
+	if err := ablateSidedness(w); err != nil {
+		return err
+	}
+	if err := ablateHalfDouble(w); err != nil {
+		return err
+	}
+	if err := ablateAmplification(w, quick); err != nil {
+		return err
+	}
+	return ablateL2PLayout(w, quick)
+}
+
+// ablationModule builds a module with a dense weak-cell population for
+// counting flips under different patterns.
+func ablationModule(policy dram.RowPolicy, blast2 uint64) (*dram.Module, *sim.Clock) {
+	clk := sim.NewClock()
+	m := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile: dram.Profile{
+			Name:            "ablation",
+			HCfirst:         24000,
+			ThresholdSigma:  0.1,
+			WeakCellsPerRow: 4,
+		},
+		Policy:       policy,
+		Blast2Weight: blast2,
+		Seed:         0xAB1,
+	}, clk)
+	return m, clk
+}
+
+// pattern drives one access pattern at the given rate for a fixed access
+// budget and reports flips.
+func runPattern(m *dram.Module, clk *sim.Clock, rows []int, rate float64, accesses int) uint64 {
+	addrs := make([]uint64, len(rows))
+	for i, r := range rows {
+		addrs[i] = m.Mapper().Unmap(dram.Location{Bank: 0, Row: r})
+	}
+	iv := sim.Interval(rate)
+	before := m.Stats().Flips
+	for i := 0; i < accesses; i++ {
+		m.Activate(addrs[i%len(addrs)])
+		clk.Advance(iv)
+	}
+	return m.Stats().Flips - before
+}
+
+// prepRows fills a span of rows with 0xAA so flips in either direction
+// are visible.
+func prepRows(m *dram.Module, lo, hi int) error {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	for r := lo; r <= hi; r++ {
+		for _, a := range m.Mapper().RowAddrs(dram.Location{Bank: 0, Row: r}, 64) {
+			if err := m.Write(a, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func ablateSidedness(w io.Writer) error {
+	fmt.Fprintf(w, "\nsidedness x row policy (equal near-threshold access budget):\n")
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "pattern", "open-row", "closed-row")
+	// 1.5x the 24000 threshold: a pattern must concentrate its whole
+	// budget on the victim to flip it, which is exactly what separates
+	// the variants.
+	const budget = 36000
+	const rate = 4e6
+	type pat struct {
+		name string
+		rows func(v int) []int
+	}
+	pats := []pat{
+		{"double-sided (v-1, v+1)", func(v int) []int { return []int{v - 1, v + 1} }},
+		{"single-sided (v-1, far)", func(v int) []int { return []int{v - 1, v + 400} }},
+		{"one-location (v-1 only)", func(v int) []int { return []int{v - 1} }},
+	}
+	results := make(map[string]map[dram.RowPolicy]uint64)
+	for _, p := range pats {
+		results[p.name] = make(map[dram.RowPolicy]uint64)
+		for _, pol := range []dram.RowPolicy{dram.OpenRow, dram.ClosedRow} {
+			m, clk := ablationModule(pol, 0)
+			total := uint64(0)
+			// Average over several victim rows to smooth cell placement.
+			for _, v := range []int{101, 201, 301, 401} {
+				if err := prepRows(m, v-2, v+2); err != nil {
+					return err
+				}
+				total += runPattern(m, clk, p.rows(v), rate, budget)
+			}
+			results[p.name][pol] = total
+		}
+	}
+	for _, p := range pats {
+		fmt.Fprintf(w, "%-28s %12d %12d\n", p.name, results[p.name][dram.OpenRow], results[p.name][dram.ClosedRow])
+	}
+	if results[pats[0].name][dram.OpenRow] <= results[pats[1].name][dram.OpenRow] {
+		return fmt.Errorf("experiments: ablation shape broken: double-sided should beat single-sided")
+	}
+	if results[pats[2].name][dram.OpenRow] != 0 {
+		return fmt.Errorf("experiments: one-location should be inert under open-row policy")
+	}
+	if results[pats[2].name][dram.ClosedRow] == 0 {
+		return fmt.Errorf("experiments: one-location should work under closed-row policy")
+	}
+	fmt.Fprintf(w, "-> double-sided strongest; one-location needs a closed-row controller (§3.1)\n")
+	return nil
+}
+
+func ablateHalfDouble(w io.Writer) error {
+	fmt.Fprintf(w, "\ndistance-two coupling (half-double, paper ref [42]):\n")
+	for _, blast := range []uint64{0, 8} {
+		m, clk := ablationModule(dram.OpenRow, blast)
+		v := 151
+		if err := prepRows(m, v-3, v+3); err != nil {
+			return err
+		}
+		// Hammer only at distance two from the victim.
+		flips := runPattern(m, clk, []int{v - 2, v + 2}, 8e6, 400000)
+		victimFlips := uint64(0)
+		for _, ev := range m.Flips() {
+			if ev.Row == v {
+				victimFlips++
+			}
+		}
+		fmt.Fprintf(w, "  blast2-weight %d/16: distance-2 victim flips = %d (total %d)\n",
+			blast, victimFlips, flips)
+	}
+	fmt.Fprintf(w, "-> distance-two rows only flip when the coupling extends beyond immediate neighbours\n")
+	return nil
+}
+
+func ablateAmplification(w io.Writer, quick bool) error {
+	fmt.Fprintf(w, "\nfirmware amplification (device-level, equal I/O budget):\n")
+	fmt.Fprintf(w, "%-14s %14s %10s\n", "HammersPerIO", "activations/IO", "flips")
+	ios := 120000
+	if quick {
+		ios = 60000
+	}
+	for _, amp := range []int{1, 2, 5} {
+		clk := sim.NewClock()
+		mem := dram.New(dram.Config{
+			Geometry: dram.SSDGeometry(),
+			Profile: dram.Profile{
+				Name:            "ablation",
+				HCfirst:         24000,
+				ThresholdSigma:  0.1,
+				WeakCellsPerRow: 4,
+			},
+			Mapping: dram.MapperConfig{XorBank: true},
+			Seed:    0xAB2,
+		}, clk)
+		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+		f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4, HammersPerIO: amp}, mem, flash)
+		if err != nil {
+			return err
+		}
+		// Alternate two LBAs whose entries share a bank in different
+		// rows; with the tiny flash the whole table fits in few rows,
+		// so use entries far apart.
+		buf := make([]byte, f.BlockBytes())
+		a := ftl.LBA(0)
+		b := ftl.LBA(f.NumLBAs() - 1)
+		st0 := mem.Stats()
+		for i := 0; i < ios/2; i++ {
+			if _, err := f.ReadLBA(a, buf); err != nil {
+				return err
+			}
+			if _, err := f.ReadLBA(b, buf); err != nil {
+				return err
+			}
+			clk.Advance(300 * sim.Nanosecond)
+		}
+		st1 := mem.Stats()
+		perIO := float64((st1.Activations+st1.RowHits)-(st0.Activations+st0.RowHits)) / float64(ios)
+		fmt.Fprintf(w, "%-14d %14.1f %10d\n", amp, perIO, st1.Flips-st0.Flips)
+	}
+	fmt.Fprintf(w, "-> amplification multiplies per-IO activations (the paper's x5 testbed hack)\n")
+	return nil
+}
+
+func ablateL2PLayout(w io.Writer, quick bool) error {
+	fmt.Fprintf(w, "\nL2P layout lookup cost (DRAM line accesses per host read):\n")
+	ios := 20000
+	if quick {
+		ios = 8000
+	}
+	for _, hashed := range []bool{false, true} {
+		clk := sim.NewClock()
+		mem := dram.New(dram.Config{
+			Geometry: dram.SmallGeometry(),
+			Profile:  dram.InvulnerableProfile(),
+			Seed:     1,
+		}, clk)
+		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+		f, err := ftl.New(ftl.Config{
+			NumLBAs: flash.Geometry().TotalPages() * 3 / 4,
+			Hashed:  hashed,
+			HashKey: 0xFEED,
+		}, mem, flash)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, f.BlockBytes())
+		rng := sim.NewRNG(3)
+		st0 := mem.Stats()
+		for i := 0; i < ios; i++ {
+			if _, err := f.ReadLBA(ftl.LBA(rng.Uint64n(f.NumLBAs())), buf); err != nil {
+				return err
+			}
+		}
+		st1 := mem.Stats()
+		perIO := float64((st1.Activations+st1.RowHits)-(st0.Activations+st0.RowHits)) / float64(ios)
+		name := "linear"
+		if hashed {
+			name = "hashed (keyed)"
+		}
+		fmt.Fprintf(w, "  %-16s %6.2f accesses/read\n", name, perIO)
+	}
+	fmt.Fprintf(w, "-> the randomization mitigation costs little and defeats offline layout analysis\n")
+	return nil
+}

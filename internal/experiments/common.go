@@ -1,0 +1,109 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports, next to what the simulation measures, so the *shape* of the
+// results (who wins, by what factor, where feasibility crossovers fall)
+// can be compared directly.
+//
+// The same entry points back both the root-level Go benchmarks
+// (bench_test.go) and the cmd/repro binary.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ftlhammer/internal/cloud"
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/sim"
+)
+
+// section prints an experiment header.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}
+
+// hammerModule drives a double-sided hammer directly against a DRAM module
+// at the given total access rate, for the given virtual duration, and
+// reports whether any bit flipped. Used by the rate-threshold experiments.
+func hammerModule(m *dram.Module, clk *sim.Clock, victimRow int, rate float64, dur sim.Duration) bool {
+	before := m.Stats().Flips
+	iv := sim.Interval(rate)
+	a := m.Mapper().Unmap(dram.Location{Bank: 0, Row: victimRow - 1})
+	b := m.Mapper().Unmap(dram.Location{Bank: 0, Row: victimRow + 1})
+	end := clk.Now().Add(dur)
+	for i := 0; clk.Now() < end; i++ {
+		m.Activate(a)
+		clk.Advance(iv)
+		m.Activate(b)
+		clk.Advance(iv)
+		if i&511 == 0 && m.Stats().Flips > before {
+			return true
+		}
+	}
+	return m.Stats().Flips > before
+}
+
+// fillVictimRow writes 0xFF over a row so true-cells have charge to lose.
+func fillVictimRow(m *dram.Module, row int) error {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	for _, addr := range m.Mapper().RowAddrs(dram.Location{Bank: 0, Row: row}, 64) {
+		if err := m.Write(addr, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// paperTestbedConfig is the §4.1 cloud environment at full scale: 1 GiB
+// SSD, testbed-vulnerable DRAM, x5 amplification.
+func paperTestbedConfig(seed uint64) cloud.Config {
+	return cloud.Config{
+		DRAM: dram.Config{
+			Geometry: dram.SSDGeometry(),
+			Profile:  dram.TestbedProfile(),
+			Mapping: dram.MapperConfig{
+				Twist:      dram.TwistInterleave,
+				TwistGroup: 16,
+				XorBank:    true,
+			},
+			Seed: seed,
+		},
+		Seed: seed,
+	}
+}
+
+// quickTestbedConfig is a scaled testbed (512 MiB SSD, softer flip
+// threshold) for fast runs; the shape of every result is preserved.
+func quickTestbedConfig(seed uint64) cloud.Config {
+	return cloud.Config{
+		DRAM: dram.Config{
+			Geometry: dram.SSDGeometry(),
+			Profile: dram.Profile{
+				Name:            "scaled testbed DDR3",
+				HCfirst:         24000,
+				ThresholdSigma:  0.1,
+				WeakCellsPerRow: 2.0,
+			},
+			Mapping: dram.MapperConfig{
+				Twist:      dram.TwistInterleave,
+				TwistGroup: 8,
+				XorBank:    true,
+			},
+			Seed: seed,
+		},
+		FlashGeometry: nand.Geometry{
+			Channels:      4,
+			DiesPerChan:   2,
+			PlanesPerDie:  2,
+			BlocksPerPlan: 32,
+			PagesPerBlock: 256,
+			PageBytes:     4096,
+		},
+		VictimFillBlocks: 6144,
+		Seed:             seed,
+	}
+}

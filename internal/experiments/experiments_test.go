@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("registry has %d experiments, want 10", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Ref == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// The paper's core artifacts must all be present.
+	for _, id := range []string{"table1", "figure1", "figure2", "figure3", "prob", "mitig"} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestMinimalFlipRateTracksThreshold(t *testing.T) {
+	// The binary search must land within a few percent of the
+	// calibrated threshold for an arbitrary profile — this validates
+	// the whole disturbance pipeline, not the calibration constant.
+	for _, rateKps := range []int{500, 2200, 6000} {
+		p := dram.Profile{
+			Name:            "probe",
+			MinRateKps:      rateKps,
+			HCfirst:         uint64(rateKps) * 64,
+			WeakCellsPerRow: 4,
+		}
+		measured, err := minimalFlipRate(p)
+		if err != nil {
+			t.Fatalf("rate %dK: %v", rateKps, err)
+		}
+		want := float64(rateKps) * 1000
+		if measured < want*0.95 || measured > want*1.1 {
+			t.Fatalf("rate %dK: measured %.0f, want within ~5%%", rateKps, measured)
+		}
+	}
+}
+
+func TestHammerModuleRespectsRate(t *testing.T) {
+	clk := sim.NewClock()
+	m := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile: dram.Profile{
+			Name:            "t",
+			HCfirst:         10000,
+			WeakCellsPerRow: 8,
+		},
+		Seed: 9,
+	}, clk)
+	if err := fillVictimRow(m, 101); err != nil {
+		t.Fatal(err)
+	}
+	// Below threshold rate: no flips even over many windows.
+	if hammerModule(m, clk, 101, 100e3, 256*sim.Millisecond) {
+		t.Fatal("sub-threshold rate flipped")
+	}
+	// Above threshold: flips promptly.
+	if !hammerModule(m, clk, 101, 2e6, 128*sim.Millisecond) {
+		t.Fatal("super-threshold rate did not flip")
+	}
+}
+
+func TestRowFlipsDeterministic(t *testing.T) {
+	cfg := dram.Config{
+		Geometry: dram.SSDGeometry(),
+		Profile: dram.Profile{
+			Name:            "det",
+			HCfirst:         24000,
+			WeakCellsPerRow: 1.0,
+		},
+		Mapping: dram.MapperConfig{Twist: dram.TwistInterleave, TwistGroup: 16, XorBank: true},
+		Seed:    77,
+	}
+	tr := dram.Triple{Bank: 2, VictimRow: 5, AggRows: [2]int{4, 6}}
+	a := rowFlips(cfg, tr)
+	for i := 0; i < 3; i++ {
+		if rowFlips(cfg, tr) != a {
+			t.Fatal("rowFlips not deterministic")
+		}
+	}
+}
+
+func TestQuickExperimentsProduceOutput(t *testing.T) {
+	// The fast experiments must write their headline rows.
+	for _, tc := range []struct {
+		id   string
+		want string
+	}{
+		{"prob", "cycles to 50%: 10"},
+		{"table1", "DDR3"},
+		{"figure2", "YES"},
+	} {
+		e, err := ByID(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, true); err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		if !strings.Contains(buf.String(), tc.want) {
+			t.Fatalf("%s output missing %q:\n%s", tc.id, tc.want, buf.String())
+		}
+	}
+}
+
+func TestAblationsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	if err := Ablations(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}

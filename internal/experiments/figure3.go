@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ftlhammer/internal/cloud"
+	"ftlhammer/internal/core"
+)
+
+// Figure3 reproduces the paper's Figure 3 / §4.2 exploit: the end-to-end
+// ext4 indirect-block information leak on the shared-SSD cloud testbed.
+// The unprivileged process sprays indirect-addressed files whose data
+// blocks are maliciously formed indirect blocks, the attacker VM hammers
+// the cross-partition triples, and the scan stage detects a spray file
+// whose translation was redirected — through which the victim partition's
+// privileged content is dumped.
+func Figure3(w io.Writer, quick bool) error {
+	section(w, "Figure 3", "ext4 indirect-block exploit: unprivileged information leak")
+	cfg := quickTestbedConfig(0xF3)
+	cfg.FTL.HammersPerIO = 1
+	maxCycles := 16
+	if !quick {
+		cfg = paperTestbedConfig(0xF3)
+		maxCycles = 24
+	}
+	tb, err := cloud.NewTestbed(cfg)
+	if err != nil {
+		return err
+	}
+	camp, err := core.NewCampaign(tb, core.CampaignConfig{
+		SprayFiles:      3072,
+		TargetsPerFile:  64,
+		MaxCycles:       maxCycles,
+		TriplesPerCycle: 8,
+		Hunt:            "victim-data-block-",
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := camp.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "spray files created:        %d (hole of 12 blocks + malicious indirect data)\n", rep.SpraysCreated)
+	fmt.Fprintf(w, "hammer reads issued:        %d\n", rep.HammerReads)
+	fmt.Fprintf(w, "bitflips induced (truth):   %d\n", rep.FlipsInduced)
+	fmt.Fprintf(w, "attack cycles run:          %d\n", rep.Cycles)
+	fmt.Fprintf(w, "leaks detected by scan:     %d\n", rep.LeaksDetected)
+	fmt.Fprintf(w, "victim blocks dumped:       %d\n", rep.BlocksDumped)
+	fmt.Fprintf(w, "virtual time elapsed:       %v\n", rep.Elapsed)
+	if !rep.SecretFound {
+		return fmt.Errorf("experiments: figure 3 leak did not complete in %d cycles", rep.Cycles)
+	}
+	excerpt := rep.SecretContent
+	if len(excerpt) > 48 {
+		excerpt = excerpt[:48]
+	}
+	fmt.Fprintf(w, "LEAKED privileged content:  %q...\n", excerpt)
+	fmt.Fprintf(w, "-> an unprivileged tenant read another tenant's data through the FTL\n")
+	return nil
+}
+
+// Escalation demonstrates the §3.2 privilege-escalation consequence: a
+// single-bit translation corruption redirects the victim's setuid binary
+// to attacker polyglot content, which then "runs" as root.
+func Escalation(w io.Writer, quick bool) error {
+	section(w, "§3.2", "privilege escalation: setuid binary hijack via one-bit translation corruption")
+	cfg := quickTestbedConfig(0x35)
+	if !quick {
+		cfg = paperTestbedConfig(0x35)
+	}
+	tb, err := cloud.NewTestbed(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := core.DemonstrateEscalation(tb)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "victim executes /usr/bin/sudo: genuine=%v hijacked=%v asRoot=%v\n",
+		res.Genuine, res.Hijacked, res.AsRoot)
+	if !res.Hijacked || !res.AsRoot {
+		return fmt.Errorf("experiments: escalation demonstration failed")
+	}
+	fmt.Fprintf(w, "-> attacker polyglot content executed with root privilege\n")
+	return nil
+}

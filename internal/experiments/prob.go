@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ftlhammer/internal/core"
+)
+
+// Probability43 reproduces the §4.3 analysis: the closed-form success
+// probability of one attack cycle under the paper's illustration
+// parameters (equal partitions, 25% victim spray, 100% attacker spray),
+// validated by Monte Carlo simulation, plus the cumulative probability
+// over repeated cycles ("repeating the attack cycle for 10 times brings
+// the chances of success to more than 50%").
+func Probability43(w io.Writer, quick bool) error {
+	section(w, "§4.3", "probability of a useful bitflip")
+	p := core.PaperScenario()
+	trials := 2_000_000
+	if quick {
+		trials = 300_000
+	}
+	analytic := p.SingleCycle()
+	mc := p.MonteCarlo(trials, 0x43)
+	fmt.Fprintf(w, "parameters: Cv=Ca=PB/2, Fv=Cv/4, Fa=Ca (paper's illustration)\n")
+	fmt.Fprintf(w, "single cycle: analytic=%.4f (paper: 7%%), monte-carlo(%d)=%.4f\n", analytic, trials, mc)
+	fmt.Fprintf(w, "\n%-8s %12s\n", "cycles", "P(success)")
+	for _, n := range []int{1, 2, 5, 10, 20, 30} {
+		fmt.Fprintf(w, "%-8d %12.4f\n", n, p.AfterCycles(n))
+	}
+	fmt.Fprintf(w, "cycles to 50%%: %d (paper: 10)\n", p.CyclesFor(0.5))
+
+	// Sensitivity: how the per-cycle probability scales with spray
+	// coverage (the knob the paper's SPDK setup limited to 5%).
+	fmt.Fprintf(w, "\nspray coverage sensitivity (Fa=Ca fixed):\n%-24s %14s %14s\n",
+		"victim spray (Fv/Cv)", "P(1 cycle)", "cycles to 50%")
+	for _, frac := range []float64{0.05, 0.10, 0.25, 0.50, 1.00} {
+		q := p
+		q.Fv = q.Cv * frac
+		fmt.Fprintf(w, "%-24.2f %14.4f %14d\n", frac, q.SingleCycle(), q.CyclesFor(0.5))
+	}
+	if p.AfterCycles(10) <= 0.5 {
+		return fmt.Errorf("experiments: §4.3 shape broken: 10 cycles should exceed 50%%")
+	}
+	return nil
+}

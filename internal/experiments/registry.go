@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment is one reproducible table/figure of the paper.
+type Experiment struct {
+	// ID is a short handle ("table1", "figure2", ...).
+	ID string
+	// Ref is the paper reference ("Table 1", "§4.3", ...).
+	Ref string
+	// Title describes what is reproduced.
+	Title string
+	// Run executes the experiment, writing rows to w. Quick mode trades
+	// population sizes for runtime; shapes are preserved.
+	Run func(w io.Writer, quick bool) error
+}
+
+// All returns the registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1", "minimal access rate to trigger bitflips", Table1},
+		{"figure1", "Figure 1", "two-sided FTL rowhammer redirects an L2P entry", Figure1},
+		{"figure2", "Figure 2", "attack path feasibility: host-FS vs direct access", Figure2},
+		{"figure3", "Figure 3", "ext4 indirect-block information leak, end to end", Figure3},
+		{"escalation", "§3.2", "privilege escalation via setuid hijack", Escalation},
+		{"calib", "§4.1", "testbed calibration (rates, amplification, triples)", Calibration41},
+		{"ttl", "§4.2", "time to useful bitflip vs spray coverage", TimeToLeak42},
+		{"prob", "§4.3", "probability of success, analytic + Monte Carlo", Probability43},
+		{"mitig", "§5", "mitigations", Mitigations5},
+		{"ablations", "DESIGN §5", "design-choice ablations (sidedness, half-double, amplification, L2P layout)", Ablations},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,460 @@
+package ext4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// permRead, permWrite, permExec are the rwx access-check masks.
+const (
+	permRead  = 4
+	permWrite = 2
+	permExec  = 1
+)
+
+// splitPath normalizes an absolute path into components.
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("ext4: path %q is not absolute", path)
+	}
+	var comps []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		default:
+			comps = append(comps, c)
+		}
+	}
+	return comps, nil
+}
+
+// resolve walks path to its inode, enforcing execute permission on every
+// traversed directory.
+func (fs *FS) resolve(path string, cred Cred) (uint32, *inode, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	ino := uint32(RootIno)
+	in := new(inode)
+	if err := fs.readInode(ino, in); err != nil {
+		return 0, nil, err
+	}
+	for _, c := range comps {
+		if !in.isDir() {
+			return 0, nil, ErrNotDir
+		}
+		if !in.access(cred, permExec) {
+			return 0, nil, ErrPerm
+		}
+		next, err := fs.dirLookup(ino, in, c)
+		if err != nil {
+			return 0, nil, err
+		}
+		ino = next
+		if err := fs.readInode(ino, in); err != nil {
+			return 0, nil, err
+		}
+	}
+	return ino, in, nil
+}
+
+// resolveParent resolves the directory containing path's leaf.
+func (fs *FS) resolveParent(path string, cred Cred) (uint32, *inode, string, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(comps) == 0 {
+		return 0, nil, "", fmt.Errorf("ext4: cannot operate on /")
+	}
+	dir := "/" + strings.Join(comps[:len(comps)-1], "/")
+	ino, in, err := fs.resolve(dir, cred)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if !in.isDir() {
+		return 0, nil, "", ErrNotDir
+	}
+	return ino, in, comps[len(comps)-1], nil
+}
+
+// CreateOptions tunes file creation.
+type CreateOptions struct {
+	// UseIndirect selects legacy direct/indirect addressing for this
+	// file (no extent checksums) — the property the §4.2 exploit needs.
+	// Rejected when the volume forbids it.
+	UseIndirect bool
+	// Mode is the permission bits (plus optionally ModeSetUID).
+	Mode uint16
+}
+
+// Create makes a new regular file. The caller needs write+execute on the
+// containing directory.
+func (fs *FS) Create(path string, cred Cred, opts CreateOptions) (*File, error) {
+	dirIno, dirIn, name, err := fs.resolveParent(path, cred)
+	if err != nil {
+		return nil, err
+	}
+	if !dirIn.access(cred, permWrite|permExec) {
+		return nil, ErrPerm
+	}
+	if _, err := fs.dirLookup(dirIno, dirIn, name); err == nil {
+		return nil, ErrExists
+	} else if err != ErrNotFound {
+		return nil, err
+	}
+	if opts.UseIndirect && fs.sb.forbidIndirect {
+		return nil, ErrIndirectOff
+	}
+	ino, err := fs.allocInode()
+	if err != nil {
+		return nil, err
+	}
+	in := inode{
+		mode:  ModeFile | (opts.Mode &^ ModeDir),
+		uid:   cred.UID,
+		gid:   cred.GID,
+		links: 1,
+	}
+	if !opts.UseIndirect {
+		extentInit(&in)
+	}
+	if err := fs.writeInode(ino, &in); err != nil {
+		return nil, err
+	}
+	if err := fs.dirAdd(dirIno, dirIn, name, ino, ftypeFile); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, ino: ino, cred: cred, writable: true}, nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(path string, cred Cred, mode uint16) error {
+	dirIno, dirIn, name, err := fs.resolveParent(path, cred)
+	if err != nil {
+		return err
+	}
+	if !dirIn.access(cred, permWrite|permExec) {
+		return ErrPerm
+	}
+	if _, err := fs.dirLookup(dirIno, dirIn, name); err == nil {
+		return ErrExists
+	} else if err != ErrNotFound {
+		return err
+	}
+	ino, err := fs.allocInode()
+	if err != nil {
+		return err
+	}
+	in := inode{
+		mode:  ModeDir | (mode & ModePerm),
+		uid:   cred.UID,
+		gid:   cred.GID,
+		links: 2,
+	}
+	if err := fs.writeInode(ino, &in); err != nil {
+		return err
+	}
+	if err := fs.dirInit(ino, dirIno, &in); err != nil {
+		return err
+	}
+	if err := fs.dirAdd(dirIno, dirIn, name, ino, ftypeDir); err != nil {
+		return err
+	}
+	dirIn.links++
+	return fs.writeInode(dirIno, dirIn)
+}
+
+// Open opens an existing regular file. Write access requires the w bit.
+func (fs *FS) Open(path string, cred Cred, write bool) (*File, error) {
+	ino, in, err := fs.resolve(path, cred)
+	if err != nil {
+		return nil, err
+	}
+	if in.isDir() {
+		return nil, ErrIsDir
+	}
+	want := uint16(permRead)
+	if write {
+		want |= permWrite
+	}
+	if !in.access(cred, want) {
+		return nil, ErrPerm
+	}
+	return &File{fs: fs, ino: ino, cred: cred, writable: write}, nil
+}
+
+// Unlink removes a file. Its blocks are freed when the last link drops.
+func (fs *FS) Unlink(path string, cred Cred) error {
+	dirIno, dirIn, name, err := fs.resolveParent(path, cred)
+	if err != nil {
+		return err
+	}
+	if !dirIn.access(cred, permWrite|permExec) {
+		return ErrPerm
+	}
+	ino, err := fs.dirLookup(dirIno, dirIn, name)
+	if err != nil {
+		return err
+	}
+	var in inode
+	if err := fs.readInode(ino, &in); err != nil {
+		return err
+	}
+	if in.isDir() {
+		return ErrIsDir
+	}
+	if err := fs.dirRemove(dirIno, dirIn, name); err != nil {
+		return err
+	}
+	in.links--
+	if in.links == 0 {
+		fs.curIno = ino
+		if err := fs.freeInodeBlocks(&in); err != nil {
+			return err
+		}
+		if err := fs.setInodeUsed(ino, false); err != nil {
+			return err
+		}
+		in = inode{}
+	}
+	return fs.writeInode(ino, &in)
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string, cred Cred) error {
+	dirIno, dirIn, name, err := fs.resolveParent(path, cred)
+	if err != nil {
+		return err
+	}
+	if !dirIn.access(cred, permWrite|permExec) {
+		return ErrPerm
+	}
+	ino, err := fs.dirLookup(dirIno, dirIn, name)
+	if err != nil {
+		return err
+	}
+	var in inode
+	if err := fs.readInode(ino, &in); err != nil {
+		return err
+	}
+	if !in.isDir() {
+		return ErrNotDir
+	}
+	empty, err := fs.dirIsEmpty(ino, &in)
+	if err != nil {
+		return err
+	}
+	if !empty {
+		return ErrNotEmpty
+	}
+	if err := fs.dirRemove(dirIno, dirIn, name); err != nil {
+		return err
+	}
+	fs.curIno = ino
+	if err := fs.freeInodeBlocks(&in); err != nil {
+		return err
+	}
+	if err := fs.setInodeUsed(ino, false); err != nil {
+		return err
+	}
+	if err := fs.writeInode(ino, &inode{}); err != nil {
+		return err
+	}
+	dirIn.links--
+	return fs.writeInode(dirIno, dirIn)
+}
+
+// ReadDir lists a directory.
+func (fs *FS) ReadDir(path string, cred Cred) ([]DirEntry, error) {
+	ino, in, err := fs.resolve(path, cred)
+	if err != nil {
+		return nil, err
+	}
+	if !in.isDir() {
+		return nil, ErrNotDir
+	}
+	if !in.access(cred, permRead) {
+		return nil, ErrPerm
+	}
+	return fs.dirList(ino, in)
+}
+
+// Stat describes a path.
+func (fs *FS) Stat(path string, cred Cred) (Stat, error) {
+	ino, in, err := fs.resolve(path, cred)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{
+		Ino:     ino,
+		Mode:    in.mode,
+		UID:     in.uid,
+		GID:     in.gid,
+		Size:    in.size,
+		Links:   in.links,
+		Extents: in.usesExtents(),
+	}, nil
+}
+
+// Chmod changes permission bits (owner or root only).
+func (fs *FS) Chmod(path string, cred Cred, mode uint16) error {
+	ino, in, err := fs.resolve(path, cred)
+	if err != nil {
+		return err
+	}
+	if cred.UID != 0 && cred.UID != in.uid {
+		return ErrPerm
+	}
+	in.mode = in.mode&^(ModePerm|ModeSetUID) | (mode & (ModePerm | ModeSetUID))
+	return fs.writeInode(ino, in)
+}
+
+// Chown changes ownership (root only).
+func (fs *FS) Chown(path string, cred Cred, uid, gid uint16) error {
+	ino, in, err := fs.resolve(path, cred)
+	if err != nil {
+		return err
+	}
+	if cred.UID != 0 {
+		return ErrPerm
+	}
+	in.uid, in.gid = uid, gid
+	return fs.writeInode(ino, in)
+}
+
+// File is an open file handle. Offsets are explicit (pread/pwrite style).
+type File struct {
+	fs       *FS
+	ino      uint32
+	cred     Cred
+	writable bool
+}
+
+// Ino returns the file's inode number.
+func (f *File) Ino() uint32 { return f.ino }
+
+// Size returns the current file size.
+func (f *File) Size() (uint64, error) {
+	var in inode
+	if err := f.fs.readInode(f.ino, &in); err != nil {
+		return 0, err
+	}
+	return in.size, nil
+}
+
+// ReadAt reads len(p) bytes at offset off, zero-filling holes. Reads past
+// the end are truncated; n reports the bytes read.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	var in inode
+	if err := f.fs.readInode(f.ino, &in); err != nil {
+		return 0, err
+	}
+	f.fs.curIno = f.ino
+	if off >= in.size {
+		return 0, nil
+	}
+	if off+uint64(len(p)) > in.size {
+		p = p[:in.size-off]
+	}
+	n := 0
+	buf := make([]byte, BlockSize)
+	for n < len(p) {
+		fileBlk := (off + uint64(n)) / BlockSize
+		blkOff := int((off + uint64(n)) % BlockSize)
+		if err := f.fs.readFileBlock(&in, fileBlk, buf); err != nil {
+			return n, err
+		}
+		n += copy(p[n:], buf[blkOff:])
+	}
+	return n, nil
+}
+
+// WriteAt writes p at offset off, allocating blocks (and leaving holes
+// before off untouched). The file grows as needed.
+func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	if !f.writable {
+		return 0, ErrPerm
+	}
+	var in inode
+	if err := f.fs.readInode(f.ino, &in); err != nil {
+		return 0, err
+	}
+	f.fs.curIno = f.ino
+	n := 0
+	buf := make([]byte, BlockSize)
+	for n < len(p) {
+		fileBlk := (off + uint64(n)) / BlockSize
+		blkOff := int((off + uint64(n)) % BlockSize)
+		chunk := BlockSize - blkOff
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		if blkOff != 0 || chunk != BlockSize {
+			// Read-modify-write for partial blocks.
+			if err := f.fs.readFileBlock(&in, fileBlk, buf); err != nil {
+				return n, err
+			}
+		}
+		copy(buf[blkOff:], p[n:n+chunk])
+		if err := f.fs.writeFileBlock(&in, fileBlk, buf); err != nil {
+			return n, err
+		}
+		n += chunk
+	}
+	if end := off + uint64(len(p)); end > in.size {
+		in.size = end
+	}
+	if err := f.fs.writeInode(f.ino, &in); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Truncate releases all blocks and resets the size to zero.
+func (f *File) Truncate() error {
+	if !f.writable {
+		return ErrPerm
+	}
+	var in inode
+	if err := f.fs.readInode(f.ino, &in); err != nil {
+		return err
+	}
+	f.fs.curIno = f.ino
+	usesExtents := in.usesExtents()
+	if err := f.fs.freeInodeBlocks(&in); err != nil {
+		return err
+	}
+	if usesExtents {
+		extentInit(&in)
+	}
+	in.size = 0
+	return f.fs.writeInode(f.ino, &in)
+}
+
+// MapBlock reports the physical block currently backing fileBlk (0 for a
+// hole) — the FIEMAP-style query the attacker runs on its own files.
+func (f *File) MapBlock(fileBlk uint64) (uint32, error) {
+	var in inode
+	if err := f.fs.readInode(f.ino, &in); err != nil {
+		return 0, err
+	}
+	f.fs.curIno = f.ino
+	return f.fs.bmap(&in, fileBlk, false)
+}
+
+// SingleIndirectBlock returns the physical block holding the file's
+// single-indirect pointer array, or 0 if absent. Only meaningful for
+// indirect-addressed files; the exploit uses it to locate the LBA whose
+// translation it wants redirected.
+func (f *File) SingleIndirectBlock() (uint32, error) {
+	var in inode
+	if err := f.fs.readInode(f.ino, &in); err != nil {
+		return 0, err
+	}
+	if in.usesExtents() {
+		return 0, fmt.Errorf("ext4: file uses extents")
+	}
+	return in.iblock[idxSingle], nil
+}

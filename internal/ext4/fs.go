@@ -1,0 +1,283 @@
+package ext4
+
+import (
+	"fmt"
+)
+
+// FS is a mounted filesystem. It is not safe for concurrent use; all
+// metadata is written through to the device immediately.
+type FS struct {
+	dev BlockDevice
+	sb  superblock
+	buf []byte // scratch block
+	// curIno is the inode whose addressing structure is being walked;
+	// the extent layer needs it as the checksum key. Set by every
+	// entry point that operates on a specific inode.
+	curIno uint32
+}
+
+// MkfsOptions configures formatting.
+type MkfsOptions struct {
+	// InodeCount is the number of inodes (default: one per 8 data
+	// blocks).
+	InodeCount uint32
+	// ForbidIndirect enables the §5 software mitigation: only
+	// checksummed extent addressing is allowed.
+	ForbidIndirect bool
+}
+
+// Mkfs formats the device and creates the root directory.
+func Mkfs(dev BlockDevice, opts MkfsOptions) error {
+	if dev.BlockBytes() != BlockSize {
+		return fmt.Errorf("ext4: device block size %d, want %d", dev.BlockBytes(), BlockSize)
+	}
+	nb := dev.NumBlocks()
+	if nb < 16 {
+		return fmt.Errorf("ext4: device too small (%d blocks)", nb)
+	}
+	inodes := opts.InodeCount
+	if inodes == 0 {
+		inodes = uint32(nb / 8)
+		if inodes < 16 {
+			inodes = 16
+		}
+	}
+	var sb superblock
+	sb.magic = Magic
+	sb.numBlocks = nb
+	sb.inodeCount = inodes
+	sb.forbidIndirect = opts.ForbidIndirect
+	sb.blockBMStart = 1
+	sb.blockBMLen = (nb + BlockSize*8 - 1) / (BlockSize * 8)
+	sb.inodeBMStart = sb.blockBMStart + sb.blockBMLen
+	sb.inodeBMLen = (uint64(inodes) + BlockSize*8 - 1) / (BlockSize * 8)
+	sb.itableStart = sb.inodeBMStart + sb.inodeBMLen
+	sb.itableLen = (uint64(inodes)*InodeSize + BlockSize - 1) / BlockSize
+	sb.dataStart = sb.itableStart + sb.itableLen
+	if sb.dataStart >= nb {
+		return fmt.Errorf("ext4: metadata (%d blocks) does not fit in %d blocks", sb.dataStart, nb)
+	}
+
+	buf := make([]byte, BlockSize)
+	sb.encode(buf)
+	if err := dev.WriteBlock(0, buf); err != nil {
+		return err
+	}
+	// Zero the bitmaps and inode table.
+	zero := make([]byte, BlockSize)
+	for b := sb.blockBMStart; b < sb.dataStart; b++ {
+		if err := dev.WriteBlock(b, zero); err != nil {
+			return err
+		}
+	}
+	fs := &FS{dev: dev, sb: sb, buf: make([]byte, BlockSize)}
+	// Reserve the metadata blocks in the block bitmap.
+	for b := uint64(0); b < sb.dataStart; b++ {
+		if err := fs.setBlockUsed(b, true); err != nil {
+			return err
+		}
+	}
+	// Inode 0 is reserved (invalid).
+	if err := fs.setInodeUsed(0, true); err != nil {
+		return err
+	}
+	// Create the root directory.
+	root := inode{
+		mode:  ModeDir | 0o755,
+		links: 2, // "." and the parent entry (self for root)
+	}
+	if err := fs.setInodeUsed(RootIno, true); err != nil {
+		return err
+	}
+	if err := fs.writeInode(RootIno, &root); err != nil {
+		return err
+	}
+	if err := fs.dirInit(RootIno, RootIno, &root); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Mount opens a formatted device.
+func Mount(dev BlockDevice) (*FS, error) {
+	if dev.BlockBytes() != BlockSize {
+		return nil, fmt.Errorf("ext4: device block size %d, want %d", dev.BlockBytes(), BlockSize)
+	}
+	buf := make([]byte, BlockSize)
+	if err := dev.ReadBlock(0, buf); err != nil {
+		return nil, err
+	}
+	var sb superblock
+	if err := sb.decode(buf); err != nil {
+		return nil, err
+	}
+	if sb.numBlocks > dev.NumBlocks() {
+		return nil, fmt.Errorf("ext4: superblock claims %d blocks, device has %d", sb.numBlocks, dev.NumBlocks())
+	}
+	return &FS{dev: dev, sb: sb, buf: make([]byte, BlockSize)}, nil
+}
+
+// Device returns the underlying block device.
+func (fs *FS) Device() BlockDevice { return fs.dev }
+
+// ForbidsIndirect reports whether the indirect-addressing mitigation is
+// active on this volume.
+func (fs *FS) ForbidsIndirect() bool { return fs.sb.forbidIndirect }
+
+// --- inode table ---
+
+func (fs *FS) inodeLoc(ino uint32) (blk uint64, off int, err error) {
+	if ino == 0 || ino >= fs.sb.inodeCount {
+		return 0, 0, fmt.Errorf("ext4: inode %d out of range", ino)
+	}
+	byteOff := uint64(ino) * InodeSize
+	return fs.sb.itableStart + byteOff/BlockSize, int(byteOff % BlockSize), nil
+}
+
+func (fs *FS) readInode(ino uint32, in *inode) error {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return err
+	}
+	if err := fs.dev.ReadBlock(blk, fs.buf); err != nil {
+		return err
+	}
+	in.decode(fs.buf[off : off+InodeSize])
+	return nil
+}
+
+func (fs *FS) writeInode(ino uint32, in *inode) error {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return err
+	}
+	if err := fs.dev.ReadBlock(blk, fs.buf); err != nil {
+		return err
+	}
+	in.encode(fs.buf[off : off+InodeSize])
+	return fs.dev.WriteBlock(blk, fs.buf)
+}
+
+// --- bitmaps ---
+
+// bitmapOp reads/updates one bit in a bitmap area.
+func (fs *FS) bitmapGet(start uint64, idx uint64) (bool, error) {
+	blk := start + idx/(BlockSize*8)
+	if err := fs.dev.ReadBlock(blk, fs.buf); err != nil {
+		return false, err
+	}
+	byteIdx := (idx / 8) % BlockSize
+	return fs.buf[byteIdx]&(1<<(idx%8)) != 0, nil
+}
+
+func (fs *FS) bitmapSet(start uint64, idx uint64, used bool) error {
+	blk := start + idx/(BlockSize*8)
+	if err := fs.dev.ReadBlock(blk, fs.buf); err != nil {
+		return err
+	}
+	byteIdx := (idx / 8) % BlockSize
+	if used {
+		fs.buf[byteIdx] |= 1 << (idx % 8)
+	} else {
+		fs.buf[byteIdx] &^= 1 << (idx % 8)
+	}
+	return fs.dev.WriteBlock(blk, fs.buf)
+}
+
+// bitmapFindFree scans for a zero bit in [lo, hi).
+func (fs *FS) bitmapFindFree(start, lo, hi uint64) (uint64, bool, error) {
+	for blkIdx := lo / (BlockSize * 8); blkIdx*BlockSize*8 < hi; blkIdx++ {
+		if err := fs.dev.ReadBlock(start+blkIdx, fs.buf); err != nil {
+			return 0, false, err
+		}
+		base := blkIdx * BlockSize * 8
+		for byteIdx := 0; byteIdx < BlockSize; byteIdx++ {
+			b := fs.buf[byteIdx]
+			if b == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				idx := base + uint64(byteIdx)*8 + uint64(bit)
+				if idx < lo || idx >= hi {
+					continue
+				}
+				if b&(1<<bit) == 0 {
+					return idx, true, nil
+				}
+			}
+		}
+	}
+	return 0, false, nil
+}
+
+func (fs *FS) setBlockUsed(blk uint64, used bool) error {
+	return fs.bitmapSet(fs.sb.blockBMStart, blk, used)
+}
+
+func (fs *FS) setInodeUsed(ino uint32, used bool) error {
+	return fs.bitmapSet(fs.sb.inodeBMStart, uint64(ino), used)
+}
+
+// allocBlock finds, marks and zeroes a free data block.
+func (fs *FS) allocBlock() (uint32, error) {
+	idx, ok, err := fs.bitmapFindFree(fs.sb.blockBMStart, fs.sb.dataStart, fs.sb.numBlocks)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, ErrNoSpace
+	}
+	if err := fs.setBlockUsed(idx, true); err != nil {
+		return 0, err
+	}
+	zero := make([]byte, BlockSize)
+	if err := fs.dev.WriteBlock(idx, zero); err != nil {
+		return 0, err
+	}
+	return uint32(idx), nil
+}
+
+// freeBlock releases a data block.
+func (fs *FS) freeBlock(blk uint32) error {
+	if uint64(blk) < fs.sb.dataStart || uint64(blk) >= fs.sb.numBlocks {
+		return fmt.Errorf("ext4: freeing out-of-range block %d", blk)
+	}
+	return fs.setBlockUsed(uint64(blk), false)
+}
+
+// allocInode finds and marks a free inode.
+func (fs *FS) allocInode() (uint32, error) {
+	idx, ok, err := fs.bitmapFindFree(fs.sb.inodeBMStart, 1, uint64(fs.sb.inodeCount))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, ErrNoInodes
+	}
+	if err := fs.setInodeUsed(uint32(idx), true); err != nil {
+		return 0, err
+	}
+	return uint32(idx), nil
+}
+
+// FreeDataBlocks counts unallocated data blocks (for tests and tooling).
+func (fs *FS) FreeDataBlocks() (uint64, error) {
+	free := uint64(0)
+	for b := fs.sb.dataStart; b < fs.sb.numBlocks; b++ {
+		used, err := fs.bitmapGet(fs.sb.blockBMStart, b)
+		if err != nil {
+			return 0, err
+		}
+		if !used {
+			free++
+		}
+	}
+	return free, nil
+}
+
+// DataStart returns the first data block (useful for exploit tooling that
+// sprays raw device blocks).
+func (fs *FS) DataStart() uint64 { return fs.sb.dataStart }
+
+// NumBlocks returns the volume size in blocks.
+func (fs *FS) NumBlocks() uint64 { return fs.sb.numBlocks }

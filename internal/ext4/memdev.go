@@ -1,0 +1,54 @@
+package ext4
+
+import "fmt"
+
+// MemDevice is a trivial in-memory block device for unit tests and
+// examples that do not need the full SSD stack underneath.
+type MemDevice struct {
+	blocks [][]byte
+}
+
+// NewMemDevice allocates an n-block in-memory device.
+func NewMemDevice(n uint64) *MemDevice {
+	d := &MemDevice{blocks: make([][]byte, n)}
+	return d
+}
+
+// ReadBlock implements BlockDevice.
+func (d *MemDevice) ReadBlock(lba uint64, buf []byte) error {
+	if lba >= uint64(len(d.blocks)) {
+		return fmt.Errorf("memdev: read of block %d beyond %d", lba, len(d.blocks))
+	}
+	if len(buf) != BlockSize {
+		return fmt.Errorf("memdev: buffer %d bytes, want %d", len(buf), BlockSize)
+	}
+	if d.blocks[lba] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, d.blocks[lba])
+	return nil
+}
+
+// WriteBlock implements BlockDevice.
+func (d *MemDevice) WriteBlock(lba uint64, data []byte) error {
+	if lba >= uint64(len(d.blocks)) {
+		return fmt.Errorf("memdev: write of block %d beyond %d", lba, len(d.blocks))
+	}
+	if len(data) != BlockSize {
+		return fmt.Errorf("memdev: buffer %d bytes, want %d", len(data), BlockSize)
+	}
+	if d.blocks[lba] == nil {
+		d.blocks[lba] = make([]byte, BlockSize)
+	}
+	copy(d.blocks[lba], data)
+	return nil
+}
+
+// NumBlocks implements BlockDevice.
+func (d *MemDevice) NumBlocks() uint64 { return uint64(len(d.blocks)) }
+
+// BlockBytes implements BlockDevice.
+func (d *MemDevice) BlockBytes() int { return BlockSize }

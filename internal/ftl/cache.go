@@ -1,0 +1,60 @@
+package ftl
+
+// l2pCache is a direct-mapped cache of L2P entries in front of the device
+// DRAM, the "SSDs could enable caches on the internal CPUs" mitigation of
+// §5. A hit absorbs the DRAM access entirely, so sustained hammering of a
+// small set of entries stops producing row activations.
+//
+// It caches decoded 4-byte entry values keyed by their DRAM address, with
+// 64-byte-line index selection like a real L1: entries in the same line
+// conflict-miss only with lines that alias to the same set.
+type l2pCache struct {
+	lines uint64
+	tags  []uint64 // line tag (addr >> 6), or ^0 when invalid
+	vals  map[uint64]uint32
+}
+
+func newL2PCache(lines int) *l2pCache {
+	c := &l2pCache{
+		lines: uint64(lines),
+		tags:  make([]uint64, lines),
+		vals:  make(map[uint64]uint32),
+	}
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
+	}
+	return c
+}
+
+// lineOf returns (set index, tag) for an entry address.
+func (c *l2pCache) lineOf(addr uint64) (uint64, uint64) {
+	tag := addr >> 6
+	return tag % c.lines, tag
+}
+
+// get returns the cached entry value, if its line is resident.
+func (c *l2pCache) get(addr uint64) (uint32, bool) {
+	set, tag := c.lineOf(addr)
+	if c.tags[set] != tag {
+		return 0, false
+	}
+	v, ok := c.vals[addr]
+	return v, ok
+}
+
+// put installs the entry value, evicting a conflicting line.
+func (c *l2pCache) put(addr uint64, v uint32) {
+	set, tag := c.lineOf(addr)
+	if c.tags[set] != tag {
+		// Evict every cached entry of the old line.
+		old := c.tags[set]
+		if old != ^uint64(0) {
+			base := old << 6
+			for a := base; a < base+64; a += EntryBytes {
+				delete(c.vals, a)
+			}
+		}
+		c.tags[set] = tag
+	}
+	c.vals[addr] = v
+}

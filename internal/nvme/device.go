@@ -1,0 +1,379 @@
+// Package nvme models the NVMe-like front end of the emulated SSD: multiple
+// namespaces (the per-VM partitions of §4.1) over one shared FTL, a
+// service-time model that distinguishes the host-filesystem path from
+// direct (SRIOV-style) access, and the per-namespace I/O rate limiting
+// mitigation of §5.
+//
+// The device owns the virtual clock: every command advances it by the
+// command's service time, so request rates and the DRAM's refresh windows
+// stay consistent. Reads of unmapped/trimmed LBAs skip flash and are
+// serviced at interface speed — the fast path the paper's attacker uses.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/guard"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/sim"
+)
+
+// Path identifies how commands reach the device.
+type Path int
+
+const (
+	// PathDirect is unmediated access (SRIOV VF or kernel-bypass
+	// driver): minimal per-command overhead. The attacker VM in Figure
+	// 2(b) has this.
+	PathDirect Path = iota
+	// PathHostFS is the ordinary route through a guest filesystem and
+	// virtualized block stack: syscalls, FS metadata lookups, vmexits.
+	PathHostFS
+)
+
+func (p Path) String() string {
+	if p == PathHostFS {
+		return "host-fs"
+	}
+	return "direct"
+}
+
+// Costs parameterizes the service-time model.
+type Costs struct {
+	// SubmissionDirect is the per-command overhead on PathDirect.
+	SubmissionDirect sim.Duration
+	// SubmissionHostFS is the per-command overhead on PathHostFS.
+	SubmissionHostFS sim.Duration
+	// Firmware is fixed firmware processing time per command.
+	Firmware sim.Duration
+	// DRAMAccess is charged per DRAM line access the command caused.
+	DRAMAccess sim.Duration
+	// FlashPipelining divides raw flash latencies to model channel/die
+	// parallelism under deep queues; 0 means "use the array's die
+	// count".
+	FlashPipelining int
+}
+
+// DefaultCosts returns timings calibrated so a direct-path read of a
+// trimmed LBA (amplification x5) costs ~0.7 µs — the ~1.4 M IOPS /
+// ~7 M aggressor-activations-per-second operating point of the paper's
+// testbed — while the host-FS path is an order of magnitude slower.
+// DRAMAccess covers CAS/transfer only; row-cycle serialization (tRC/tFAW)
+// is charged separately as back-pressure from the DRAM model.
+func DefaultCosts() Costs {
+	return Costs{
+		SubmissionDirect: 150 * sim.Nanosecond,
+		SubmissionHostFS: 2 * sim.Microsecond,
+		Firmware:         50 * sim.Nanosecond,
+		DRAMAccess:       15 * sim.Nanosecond,
+	}
+}
+
+// Namespace is one partition of the shared device, with its own logical
+// address space (§4.1: "a block address is only valid within its
+// partition").
+type Namespace struct {
+	ID       int
+	StartLBA ftl.LBA
+	NumLBAs  uint64
+	// MaxIOPS, when non-zero, throttles the namespace (the §5
+	// rate-limiting mitigation).
+	MaxIOPS float64
+
+	nextFree sim.Time // token-bucket next admission time
+	// guardCap is the transient cap imposed by an attached hammer guard
+	// (0 = none).
+	guardCap float64
+	stats    NSStats
+}
+
+// NSStats counts per-namespace activity.
+type NSStats struct {
+	Reads, Writes, Trims uint64
+	Throttled            uint64 // commands that waited on the rate limit
+}
+
+// Config assembles a device.
+type Config struct {
+	Costs Costs
+}
+
+// Device is the NVMe-like controller. Not safe for concurrent use.
+type Device struct {
+	ftl        *ftl.FTL
+	flash      *nand.Array
+	mem        *dram.Module
+	clk        *sim.Clock
+	costs      Costs
+	pipelining int
+	namespaces []*Namespace
+	guard      *guard.Guard
+}
+
+// New builds a device over an FTL and its backing parts.
+func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, clk *sim.Clock) *Device {
+	costs := cfg.Costs
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	pip := costs.FlashPipelining
+	if pip <= 0 {
+		g := flash.Geometry()
+		pip = g.Channels * g.DiesPerChan
+	}
+	return &Device{
+		ftl:        f,
+		flash:      flash,
+		mem:        mem,
+		clk:        clk,
+		costs:      costs,
+		pipelining: pip,
+	}
+}
+
+// Clock returns the device's virtual clock.
+func (d *Device) Clock() *sim.Clock { return d.clk }
+
+// FTL exposes the translation layer (the simulator's white-box view).
+func (d *Device) FTL() *ftl.FTL { return d.ftl }
+
+// DRAM exposes the device DRAM (white-box view for analysis/tests).
+func (d *Device) DRAM() *dram.Module { return d.mem }
+
+// BlockBytes returns the logical block size.
+func (d *Device) BlockBytes() int { return d.ftl.BlockBytes() }
+
+// AddNamespace carves a namespace out of the device's logical space.
+// Namespaces must not overlap.
+func (d *Device) AddNamespace(numLBAs uint64, maxIOPS float64) (*Namespace, error) {
+	var start ftl.LBA
+	for _, ns := range d.namespaces {
+		start = ns.StartLBA + ftl.LBA(ns.NumLBAs)
+	}
+	if uint64(start)+numLBAs > d.ftl.NumLBAs() {
+		return nil, fmt.Errorf("nvme: namespace of %d LBAs exceeds device capacity (%d used, %d total)",
+			numLBAs, start, d.ftl.NumLBAs())
+	}
+	ns := &Namespace{
+		ID:       len(d.namespaces) + 1,
+		StartLBA: start,
+		NumLBAs:  numLBAs,
+		MaxIOPS:  maxIOPS,
+	}
+	d.namespaces = append(d.namespaces, ns)
+	return ns, nil
+}
+
+// Namespaces returns the configured namespaces.
+func (d *Device) Namespaces() []*Namespace { return d.namespaces }
+
+// Stats returns a copy of a namespace's counters.
+func (ns *Namespace) Stats() NSStats { return ns.stats }
+
+// ErrOutOfRange reports an LBA beyond the namespace.
+var ErrOutOfRange = errors.New("nvme: LBA out of namespace range")
+
+// global translates a namespace-relative LBA.
+func (d *Device) global(ns *Namespace, lba ftl.LBA) (ftl.LBA, error) {
+	if uint64(lba) >= ns.NumLBAs {
+		return 0, fmt.Errorf("%w: %d >= %d (nsid %d)", ErrOutOfRange, lba, ns.NumLBAs, ns.ID)
+	}
+	return ns.StartLBA + lba, nil
+}
+
+// AttachGuard installs a firmware-side hammer detector: every command's
+// L2P lookup is reported to it, and namespaces showing the hammer
+// signature get individually throttled (see internal/guard).
+func (d *Device) AttachGuard(g *guard.Guard) { d.guard = g }
+
+// Guard returns the attached detector, if any.
+func (d *Device) Guard() *guard.Guard { return d.guard }
+
+// observeGuard reports a command's lookup to the guard and records the
+// throttle verdict for subsequent admissions. The hot-spot key is the
+// DRAM bank/row the L2P lookup activated: the firmware knows its own
+// controller mapping, so it aggregates at exactly the granularity
+// rowhammering must concentrate on.
+func (d *Device) observeGuard(ns *Namespace, global ftl.LBA, activated bool) {
+	if d.guard == nil {
+		return
+	}
+	if !activated {
+		// Row-buffer hits cannot hammer; only activations count. This
+		// keeps legitimately hot (but buffer-resident) lines from ever
+		// accumulating toward the signature.
+		return
+	}
+	var key uint64
+	if addr, err := d.ftl.EntryAddr(global); err == nil {
+		loc := d.mem.Mapper().Map(addr)
+		key = uint64(d.mem.Config().Geometry.FlatBank(loc))<<32 | uint64(loc.Row)
+	} else {
+		// Hashed layout: fall back to line granularity.
+		key = uint64(global) / 16
+	}
+	ns.guardCap = d.guard.Observe(ns.ID, key, d.clk.Now())
+}
+
+// admit applies the namespace rate limiter (static cap and any guard-
+// imposed cap), stalling the clock until the command may start, and
+// charges the submission cost for the path.
+func (d *Device) admit(ns *Namespace, path Path) {
+	cap := ns.MaxIOPS
+	if ns.guardCap > 0 && (cap == 0 || ns.guardCap < cap) {
+		cap = ns.guardCap
+	}
+	if cap > 0 {
+		if now := d.clk.Now(); now < ns.nextFree {
+			ns.stats.Throttled++
+			d.clk.AdvanceTo(ns.nextFree)
+		}
+		ns.nextFree = d.clk.Now().Add(sim.Interval(cap))
+	}
+	if path == PathHostFS {
+		d.clk.Advance(d.costs.SubmissionHostFS)
+	} else {
+		d.clk.Advance(d.costs.SubmissionDirect)
+	}
+}
+
+// chargeBackend advances the clock for firmware, DRAM and flash work done
+// since the snapshots were taken.
+func (d *Device) chargeBackend(dramBefore dram.Stats, flashBefore nand.Stats) {
+	d.clk.Advance(d.costs.Firmware)
+	// Every DRAM line touch increments exactly one of Activations or
+	// RowHits (data reads/writes included), so their delta is the
+	// command's DRAM access count.
+	da := d.mem.Stats()
+	accesses := (da.Activations + da.RowHits) - (dramBefore.Activations + dramBefore.RowHits)
+	d.clk.Advance(d.costs.DRAMAccess * sim.Duration(accesses))
+	// DRAM command-rate back-pressure (tRC/tFAW): when the workload
+	// demands activations faster than the chips allow, the difference
+	// stalls the firmware.
+	if stall := d.mem.TakeStall(); stall > 0 {
+		d.clk.Advance(stall)
+	}
+	fa := d.flash.Stats()
+	busy := fa.BusyTime - flashBefore.BusyTime
+	d.clk.Advance(busy / sim.Duration(d.pipelining))
+}
+
+// Read services one block read. The returned mapped flag reports whether
+// flash was touched (false for trimmed/unwritten LBAs — the fast path).
+func (d *Device) Read(ns *Namespace, lba ftl.LBA, buf []byte, path Path) (mapped bool, err error) {
+	g, err := d.global(ns, lba)
+	if err != nil {
+		return false, err
+	}
+	d.admit(ns, path)
+	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
+	mapped, err = d.ftl.ReadLBA(g, buf)
+	activated := d.mem.Stats().Activations > dramBefore.Activations
+	d.chargeBackend(dramBefore, flashBefore)
+	d.observeGuard(ns, g, activated)
+	ns.stats.Reads++
+	return mapped, err
+}
+
+// Write services one block write.
+func (d *Device) Write(ns *Namespace, lba ftl.LBA, data []byte, path Path) error {
+	g, err := d.global(ns, lba)
+	if err != nil {
+		return err
+	}
+	d.admit(ns, path)
+	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
+	err = d.ftl.WriteLBA(g, data)
+	activated := d.mem.Stats().Activations > dramBefore.Activations
+	d.chargeBackend(dramBefore, flashBefore)
+	d.observeGuard(ns, g, activated)
+	ns.stats.Writes++
+	return err
+}
+
+// Trim deallocates one block (NVMe Dataset Management / Deallocate).
+func (d *Device) Trim(ns *Namespace, lba ftl.LBA, path Path) error {
+	g, err := d.global(ns, lba)
+	if err != nil {
+		return err
+	}
+	d.admit(ns, path)
+	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
+	err = d.ftl.Trim(g)
+	activated := d.mem.Stats().Activations > dramBefore.Activations
+	d.chargeBackend(dramBefore, flashBefore)
+	d.observeGuard(ns, g, activated)
+	ns.stats.Trims++
+	return err
+}
+
+// Identify describes the controller, in the spirit of the NVMe Identify
+// command.
+type Identify struct {
+	Model      string
+	Capacity   uint64 // bytes
+	BlockBytes int
+	Namespaces int
+	L2PKind    string
+}
+
+// Identify returns controller information.
+func (d *Device) Identify() Identify {
+	kind := "linear"
+	if d.ftl.Config().Hashed {
+		kind = "hashed"
+	}
+	return Identify{
+		Model:      "ftlhammer emulated NVMe SSD",
+		Capacity:   d.ftl.NumLBAs() * uint64(d.ftl.BlockBytes()),
+		BlockBytes: d.ftl.BlockBytes(),
+		Namespaces: len(d.namespaces),
+		L2PKind:    kind,
+	}
+}
+
+// L2POwner returns an ownership classifier over the L2P DRAM region: given
+// a DRAM physical address it returns the ID of the namespace whose
+// translation entry lives there, or -1. Only meaningful for the linear
+// layout — with the hashed layout the mapping is key-dependent, which is
+// exactly why hashing is a mitigation.
+func (d *Device) L2POwner() (func(addr uint64) int, error) {
+	if d.ftl.Config().Hashed {
+		return nil, errors.New("nvme: L2P ownership is randomized by the hashed layout")
+	}
+	region := d.ftl.L2PRegion()
+	// Snapshot namespace ranges.
+	type span struct {
+		id         int
+		start, end uint64 // entry index range
+	}
+	var spans []span
+	for _, ns := range d.namespaces {
+		spans = append(spans, span{ns.ID, uint64(ns.StartLBA), uint64(ns.StartLBA) + ns.NumLBAs})
+	}
+	return func(addr uint64) int {
+		if !region.Contains(addr) {
+			return -1
+		}
+		entry := (addr - region.Base) / ftl.EntryBytes
+		for _, s := range spans {
+			if entry >= s.start && entry < s.end {
+				return s.id
+			}
+		}
+		return -1
+	}, nil
+}
+
+// EntryAddrOf returns the DRAM address of a namespace-relative LBA's L2P
+// entry (linear layout only) — the attacker's offline layout knowledge.
+func (d *Device) EntryAddrOf(ns *Namespace, lba ftl.LBA) (uint64, error) {
+	g, err := d.global(ns, lba)
+	if err != nil {
+		return 0, err
+	}
+	return d.ftl.EntryAddr(g)
+}

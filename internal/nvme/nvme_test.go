@@ -1,0 +1,396 @@
+package nvme
+
+import (
+	"testing"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/guard"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/sim"
+)
+
+// testDevice builds a small two-namespace device.
+func testDevice(t *testing.T, mutateFTL func(*ftl.Config)) (*Device, *Namespace, *Namespace) {
+	t.Helper()
+	clk := sim.NewClock()
+	mem := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile:  dram.InvulnerableProfile(),
+		Seed:     1,
+	}, clk)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	fcfg := ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}
+	if mutateFTL != nil {
+		mutateFTL(&fcfg)
+	}
+	f, err := ftl.New(fcfg, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := New(Config{}, f, mem, flash, clk)
+	half := f.NumLBAs() / 2
+	nsA, err := dev.AddNamespace(half, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := dev.AddNamespace(half, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, nsA, nsB
+}
+
+func blockOf(d *Device, b byte) []byte {
+	p := make([]byte, d.BlockBytes())
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestNamespaceIsolationOfAddressSpaces(t *testing.T) {
+	dev, nsA, nsB := testDevice(t, nil)
+	if err := dev.Write(nsA, 0, blockOf(dev, 0xA1), PathDirect); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Write(nsB, 0, blockOf(dev, 0xB1), PathDirect); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, dev.BlockBytes())
+	if _, err := dev.Read(nsA, 0, got, PathDirect); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xA1 {
+		t.Fatalf("nsA read %#x, want 0xA1", got[0])
+	}
+	if _, err := dev.Read(nsB, 0, got, PathDirect); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xB1 {
+		t.Fatalf("nsB read %#x, want 0xB1", got[0])
+	}
+}
+
+func TestNamespaceBounds(t *testing.T) {
+	dev, nsA, _ := testDevice(t, nil)
+	buf := blockOf(dev, 0)
+	if _, err := dev.Read(nsA, ftl.LBA(nsA.NumLBAs), buf, PathDirect); err == nil {
+		t.Fatal("out-of-namespace read accepted")
+	}
+	if err := dev.Write(nsA, ftl.LBA(nsA.NumLBAs), buf, PathDirect); err == nil {
+		t.Fatal("out-of-namespace write accepted")
+	}
+}
+
+func TestNamespaceOverlapRejected(t *testing.T) {
+	dev, _, _ := testDevice(t, nil)
+	if _, err := dev.AddNamespace(1, 0); err == nil {
+		t.Fatal("over-capacity namespace accepted")
+	}
+}
+
+func TestClockAdvancesPerCommand(t *testing.T) {
+	dev, nsA, _ := testDevice(t, nil)
+	buf := blockOf(dev, 0)
+	start := dev.Clock().Now()
+	if _, err := dev.Read(nsA, 0, buf, PathDirect); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Clock().Now() == start {
+		t.Fatal("command consumed no time")
+	}
+}
+
+func TestTrimmedReadsFasterThanMapped(t *testing.T) {
+	dev, nsA, _ := testDevice(t, nil)
+	buf := blockOf(dev, 1)
+	if err := dev.Write(nsA, 0, buf, PathDirect); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	measure := func(lba ftl.LBA) sim.Duration {
+		start := dev.Clock().Now()
+		for i := 0; i < n; i++ {
+			if _, err := dev.Read(nsA, lba, buf, PathDirect); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev.Clock().Now().Sub(start)
+	}
+	mapped := measure(0)   // written above: touches flash
+	trimmed := measure(10) // never written: skips flash
+	if trimmed*2 >= mapped {
+		t.Fatalf("trimmed reads not meaningfully faster: trimmed=%v mapped=%v", trimmed, mapped)
+	}
+}
+
+func TestDirectPathFasterThanHostFS(t *testing.T) {
+	dev, nsA, _ := testDevice(t, nil)
+	buf := blockOf(dev, 0)
+	const n = 200
+	measure := func(p Path) sim.Duration {
+		start := dev.Clock().Now()
+		for i := 0; i < n; i++ {
+			if _, err := dev.Read(nsA, 20, buf, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev.Clock().Now().Sub(start)
+	}
+	direct := measure(PathDirect)
+	hostfs := measure(PathHostFS)
+	if direct*2 >= hostfs {
+		t.Fatalf("direct path not meaningfully faster: direct=%v hostfs=%v", direct, hostfs)
+	}
+}
+
+func TestRateLimiterCapsIOPS(t *testing.T) {
+	dev, _, _ := testDevice(t, nil)
+	// Fresh namespace with a 10K IOPS cap is impossible here (namespaces
+	// are allocated); rebuild with a capped namespace.
+	clk := sim.NewClock()
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(Config{}, f, mem, flash, clk)
+	ns, err := d2.AddNamespace(100, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := blockOf(d2, 0)
+	const n = 5000
+	start := clk.Now()
+	for i := 0; i < n; i++ {
+		if _, err := d2.Read(ns, 5, buf, PathDirect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := clk.Now().Sub(start).Seconds()
+	iops := float64(n) / elapsed
+	if iops > 11_000 {
+		t.Fatalf("rate limiter leaked: %.0f IOPS > 10K cap", iops)
+	}
+	if ns.Stats().Throttled == 0 {
+		t.Fatal("limiter never throttled")
+	}
+	_ = dev
+}
+
+func TestIdentify(t *testing.T) {
+	dev, _, _ := testDevice(t, nil)
+	id := dev.Identify()
+	if id.Namespaces != 2 || id.BlockBytes != 4096 || id.L2PKind != "linear" {
+		t.Fatalf("unexpected identify: %+v", id)
+	}
+	devH, _, _ := testDevice(t, func(c *ftl.Config) { c.Hashed = true })
+	if devH.Identify().L2PKind != "hashed" {
+		t.Fatal("hashed layout not reported")
+	}
+}
+
+func TestL2POwnerClassifiesPartitions(t *testing.T) {
+	dev, nsA, nsB := testDevice(t, nil)
+	owner, err := dev.L2POwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr, err := dev.EntryAddrOf(nsA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr, err := dev.EntryAddrOf(nsB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner(aAddr) != nsA.ID {
+		t.Fatalf("owner(%#x) = %d, want %d", aAddr, owner(aAddr), nsA.ID)
+	}
+	if owner(bAddr) != nsB.ID {
+		t.Fatalf("owner(%#x) = %d, want %d", bAddr, owner(bAddr), nsB.ID)
+	}
+	region := dev.FTL().L2PRegion()
+	if owner(region.Base+region.Size+64) != -1 {
+		t.Fatal("address outside region classified as owned")
+	}
+}
+
+func TestL2POwnerUnavailableWhenHashed(t *testing.T) {
+	dev, _, _ := testDevice(t, func(c *ftl.Config) { c.Hashed = true })
+	if _, err := dev.L2POwner(); err == nil {
+		t.Fatal("hashed layout revealed ownership map")
+	}
+}
+
+func TestQueuePairRoundTrip(t *testing.T) {
+	dev, nsA, _ := testDevice(t, nil)
+	qp, err := dev.NewQueuePair(nsA, PathDirect, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := blockOf(dev, 7)
+	if err := qp.Submit(Command{Op: OpWrite, LBA: 3, Buf: w, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, dev.BlockBytes())
+	if err := qp.Submit(Command{Op: OpRead, LBA: 3, Buf: r, Tag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := qp.Ring(); n != 2 {
+		t.Fatalf("Ring processed %d, want 2", n)
+	}
+	cs := qp.Completions()
+	if len(cs) != 2 {
+		t.Fatalf("%d completions, want 2", len(cs))
+	}
+	for _, c := range cs {
+		if c.Err != nil {
+			t.Fatalf("completion tag %d: %v", c.Tag, c.Err)
+		}
+	}
+	if !cs[1].Mapped || r[0] != 7 {
+		t.Fatal("queued read returned wrong data")
+	}
+	if len(qp.Completions()) != 0 {
+		t.Fatal("completions not drained")
+	}
+}
+
+func TestQueuePairDepthEnforced(t *testing.T) {
+	dev, nsA, _ := testDevice(t, nil)
+	qp, err := dev.NewQueuePair(nsA, PathDirect, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := blockOf(dev, 0)
+	for i := 0; i < 2; i++ {
+		if err := qp.Submit(Command{Op: OpRead, LBA: 0, Buf: buf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qp.Submit(Command{Op: OpRead, LBA: 0, Buf: buf}); err != ErrQueueFull {
+		t.Fatalf("overflow submit returned %v, want ErrQueueFull", err)
+	}
+	if _, err := dev.NewQueuePair(nsA, PathDirect, 0); err == nil {
+		t.Fatal("zero-depth queue accepted")
+	}
+}
+
+func TestAchievableDirectTrimmedIOPSMatchesTestbed(t *testing.T) {
+	// The calibration point: direct-path reads of trimmed LBAs at x5
+	// amplification should land near the paper's ~1.4M IOPS operating
+	// point (§4.1: ~7M SPDK-level accesses/s at 5 hammers per I/O).
+	clk := sim.NewClock()
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4, HammersPerIO: 5}, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := New(Config{}, f, mem, flash, clk)
+	ns, err := dev.AddNamespace(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, dev.BlockBytes())
+	const n = 2000
+	start := clk.Now()
+	for i := 0; i < n; i++ {
+		if _, err := dev.Read(ns, ftl.LBA(i%2), buf, PathDirect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iops := float64(n) / clk.Now().Sub(start).Seconds()
+	if iops < 0.5e6 || iops > 3e6 {
+		t.Fatalf("direct trimmed IOPS = %.0f, want ~1-2M", iops)
+	}
+}
+
+func BenchmarkDeviceReadTrimmed(b *testing.B) {
+	clk := sim.NewClock()
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := New(Config{}, f, mem, flash, clk)
+	ns, _ := dev.AddNamespace(100, 0)
+	buf := make([]byte, dev.BlockBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Read(ns, ftl.LBA(i%2), buf, PathDirect); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGuardIntegration(t *testing.T) {
+	clk := sim.NewClock()
+	mem := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile:  dram.InvulnerableProfile(),
+		Seed:     1,
+	}, clk)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := New(Config{}, f, mem, flash, clk)
+	gcfg := guard.DefaultConfig()
+	gcfg.RowThreshold = 2000
+	dev.AttachGuard(guard.New(gcfg))
+	ns, err := dev.AddNamespace(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Guard() == nil {
+		t.Fatal("guard not attached")
+	}
+	// Hammer-like pattern: alternate two LBAs whose entries share a bank
+	// in different rows. Measure throughput before and after detection.
+	buf := make([]byte, dev.BlockBytes())
+	read := func(n int) float64 {
+		start := clk.Now()
+		for i := 0; i < n; i++ {
+			lba := ftl.LBA(0)
+			if i%2 == 1 {
+				lba = 256
+			}
+			if _, err := dev.Read(ns, lba, buf, PathDirect); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(n) / clk.Now().Sub(start).Seconds()
+	}
+	before := read(1000)
+	_ = read(8000) // trip the detector
+	after := read(1000)
+	if dev.Guard().Violations(ns.ID) == 0 {
+		t.Fatal("device never reported the hammer to the guard")
+	}
+	if after*2 > before {
+		t.Fatalf("throttle ineffective: before=%.0f after=%.0f IOPS", before, after)
+	}
+	// Spread traffic on a second namespace stays fast.
+	ns2, err := dev.AddNamespace(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(9)
+	start := clk.Now()
+	const n2 = 2000
+	for i := 0; i < n2; i++ {
+		if _, err := dev.Read(ns2, ftl.LBA(rng.Uint64n(300)), buf, PathDirect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iops2 := float64(n2) / clk.Now().Sub(start).Seconds()
+	if iops2*2 < before {
+		t.Fatalf("innocent namespace throttled: %.0f IOPS", iops2)
+	}
+}

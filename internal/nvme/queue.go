@@ -1,0 +1,117 @@
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"ftlhammer/internal/ftl"
+)
+
+// Opcode is an NVMe-style command opcode.
+type Opcode int
+
+const (
+	// OpRead reads one logical block.
+	OpRead Opcode = iota
+	// OpWrite writes one logical block.
+	OpWrite
+	// OpTrim deallocates one logical block.
+	OpTrim
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTrim:
+		return "trim"
+	default:
+		return "invalid"
+	}
+}
+
+// Command is one submission-queue entry.
+type Command struct {
+	Op  Opcode
+	LBA ftl.LBA
+	// Buf receives data for OpRead and supplies it for OpWrite; it must
+	// be one block.
+	Buf []byte
+	// Tag is an opaque caller cookie echoed in the completion.
+	Tag uint64
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	Tag uint64
+	// Mapped reports (for OpRead) whether flash was touched.
+	Mapped bool
+	Err    error
+}
+
+// ErrQueueFull reports a submission beyond the queue depth.
+var ErrQueueFull = errors.New("nvme: submission queue full")
+
+// QueuePair is an asynchronous submission/completion queue bound to one
+// namespace and path, in the style of io_uring or the NVMe driver queue
+// pairs the paper's workload uses (§3.1).
+type QueuePair struct {
+	dev   *Device
+	ns    *Namespace
+	path  Path
+	depth int
+	sq    []Command
+	cq    []Completion
+}
+
+// NewQueuePair creates a queue pair of the given depth.
+func (d *Device) NewQueuePair(ns *Namespace, path Path, depth int) (*QueuePair, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("nvme: queue depth %d must be positive", depth)
+	}
+	return &QueuePair{dev: d, ns: ns, path: path, depth: depth}, nil
+}
+
+// Submit enqueues a command without executing it.
+func (q *QueuePair) Submit(cmd Command) error {
+	if len(q.sq) >= q.depth {
+		return ErrQueueFull
+	}
+	q.sq = append(q.sq, cmd)
+	return nil
+}
+
+// Ring processes every submitted command in order, filling the completion
+// queue. It returns the number processed. (The simulation is synchronous
+// under the hood; Ring is the "doorbell".)
+func (q *QueuePair) Ring() int {
+	n := len(q.sq)
+	for _, cmd := range q.sq {
+		c := Completion{Tag: cmd.Tag}
+		switch cmd.Op {
+		case OpRead:
+			c.Mapped, c.Err = q.dev.Read(q.ns, cmd.LBA, cmd.Buf, q.path)
+		case OpWrite:
+			c.Err = q.dev.Write(q.ns, cmd.LBA, cmd.Buf, q.path)
+		case OpTrim:
+			c.Err = q.dev.Trim(q.ns, cmd.LBA, q.path)
+		default:
+			c.Err = fmt.Errorf("nvme: invalid opcode %d", cmd.Op)
+		}
+		q.cq = append(q.cq, c)
+	}
+	q.sq = q.sq[:0]
+	return n
+}
+
+// Completions drains and returns the completion queue.
+func (q *QueuePair) Completions() []Completion {
+	out := q.cq
+	q.cq = nil
+	return out
+}
+
+// Depth returns the queue depth.
+func (q *QueuePair) Depth() int { return q.depth }

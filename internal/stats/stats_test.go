@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{4, 1, 3, 2, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Fatalf("N=%d Sum=%v Mean=%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median=%v", s.Median())
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0=%v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("P100=%v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Fatalf("StdDev=%v, want 2", s.StdDev())
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	var s Sample
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		s = Sample{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := s.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	var s Sample
+	for _, fn := range []func(){
+		func() { s.Percentile(50) },
+		func() { s.Add(1); s.Percentile(-1) },
+		func() { s.Percentile(101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for x := 0.0; x < 10; x++ {
+		h.Add(x)
+	}
+	h.Add(-1)
+	h.Add(42)
+	if h.Total() != 12 {
+		t.Fatalf("Total=%d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bucket %d = %d, want 2", i, c)
+		}
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape accepted")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio misbehaved")
+	}
+}

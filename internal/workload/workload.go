@@ -1,0 +1,139 @@
+// Package workload generates rate-controlled I/O request streams against
+// an NVMe namespace: the sequential-write setup phase of §3.1, uniform and
+// Zipf-distributed background traffic, and the alternating read pattern
+// that underlies the hammering workloads built in internal/core.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/sim"
+)
+
+// Runner issues commands against one namespace over one path.
+type Runner struct {
+	Dev  *nvme.Device
+	NS   *nvme.Namespace
+	Path nvme.Path
+	buf  []byte
+}
+
+// NewRunner builds a workload runner.
+func NewRunner(dev *nvme.Device, ns *nvme.Namespace, path nvme.Path) *Runner {
+	return &Runner{Dev: dev, NS: ns, Path: path, buf: make([]byte, dev.BlockBytes())}
+}
+
+// SequentialWrite fills LBAs [start, start+count) with pattern-stamped
+// blocks — the attack's L2P preparation phase, which makes the firmware
+// allocate physical pages and populate contiguous table entries (§3.1).
+func (r *Runner) SequentialWrite(start ftl.LBA, count uint64, stamp byte) error {
+	for i := uint64(0); i < count; i++ {
+		for j := range r.buf {
+			r.buf[j] = stamp
+		}
+		// Stamp the LBA into the block so reads are attributable.
+		lba := start + ftl.LBA(i)
+		putU64(r.buf, uint64(lba))
+		if err := r.Dev.Write(r.NS, lba, r.buf, r.Path); err != nil {
+			return fmt.Errorf("workload: sequential write at %d: %w", lba, err)
+		}
+	}
+	return nil
+}
+
+// putU64 stamps v into the first 8 bytes.
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// UniformReads issues n single-block reads uniformly over [0, span).
+func (r *Runner) UniformReads(rng *sim.RNG, span uint64, n int) error {
+	for i := 0; i < n; i++ {
+		lba := ftl.LBA(rng.Uint64n(span))
+		if _, err := r.Dev.Read(r.NS, lba, r.buf, r.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Zipf draws ranks with P(k) ∝ 1/(k+1)^s over [0, n), via rejection
+// sampling against the rank-1 envelope. Deterministic given the RNG.
+type Zipf struct {
+	rng *sim.RNG
+	n   uint64
+	s   float64
+}
+
+// NewZipf builds a sampler. s must be > 0, n > 0.
+func NewZipf(rng *sim.RNG, n uint64, s float64) *Zipf {
+	if n == 0 || s <= 0 {
+		panic("workload: invalid zipf parameters")
+	}
+	return &Zipf{rng: rng, n: n, s: s}
+}
+
+// Next returns the next rank.
+func (z *Zipf) Next() uint64 {
+	for {
+		k := z.rng.Uint64n(z.n)
+		accept := math.Pow(1/float64(k+1), z.s)
+		if z.rng.Float64() < accept {
+			return k
+		}
+	}
+}
+
+// ZipfReads issues n single-block reads with Zipf-skewed locality —
+// ordinary "busy tenant" background traffic for realism experiments.
+func (r *Runner) ZipfReads(z *Zipf, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := r.Dev.Read(r.NS, ftl.LBA(z.Next()), r.buf, r.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AlternatingReads cycles through the given LBA groups round-robin,
+// issuing one read from each group in turn, n reads total. Reading LBAs
+// whose L2P entries live in different DRAM rows of one bank is exactly
+// what turns this into a rowhammer pattern.
+func (r *Runner) AlternatingReads(groups [][]ftl.LBA, n int) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("workload: no LBA groups")
+	}
+	idx := make([]int, len(groups))
+	for i := 0; i < n; i++ {
+		g := i % len(groups)
+		lbas := groups[g]
+		if len(lbas) == 0 {
+			return fmt.Errorf("workload: empty LBA group %d", g)
+		}
+		lba := lbas[idx[g]%len(lbas)]
+		idx[g]++
+		if _, err := r.Dev.Read(r.NS, lba, r.buf, r.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasureIOPS runs fn and reports the virtual-time I/O rate of the n
+// operations it performed.
+func MeasureIOPS(clk *sim.Clock, n int, fn func() error) (float64, error) {
+	start := clk.Now()
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	elapsed := clk.Now().Sub(start)
+	if elapsed == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(n) / elapsed.Seconds(), nil
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/sim"
+)
+
+func testDevice(t *testing.T) (*nvme.Device, *nvme.Namespace, *sim.Clock) {
+	t.Helper()
+	clk := sim.NewClock()
+	mem := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile:  dram.InvulnerableProfile(),
+		Seed:     1,
+	}, clk)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nvme.New(nvme.Config{}, f, mem, flash, clk)
+	ns, err := dev.AddNamespace(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, ns, clk
+}
+
+func TestSequentialWriteStampsLBAs(t *testing.T) {
+	dev, ns, _ := testDevice(t)
+	r := NewRunner(dev, ns, nvme.PathDirect)
+	if err := r.SequentialWrite(10, 20, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, dev.BlockBytes())
+	mapped, err := dev.Read(ns, 15, buf, nvme.PathDirect)
+	if err != nil || !mapped {
+		t.Fatalf("read: mapped=%v err=%v", mapped, err)
+	}
+	if buf[0] != 15 { // low byte of the stamped LBA
+		t.Fatalf("stamp = %d, want 15", buf[0])
+	}
+	if buf[100] != 0x77 {
+		t.Fatalf("fill = %#x, want 0x77", buf[100])
+	}
+}
+
+func TestUniformReadsStayInSpan(t *testing.T) {
+	dev, ns, _ := testDevice(t)
+	r := NewRunner(dev, ns, nvme.PathDirect)
+	rng := sim.NewRNG(3)
+	if err := r.UniformReads(rng, 50, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.Stats().Reads; got != 500 {
+		t.Fatalf("reads = %d, want 500", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := sim.NewRNG(4)
+	z := NewZipf(rng, 1000, 1.0)
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[500]*5 {
+		t.Fatalf("zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid zipf accepted")
+		}
+	}()
+	NewZipf(sim.NewRNG(1), 0, 1)
+}
+
+func TestZipfReads(t *testing.T) {
+	dev, ns, _ := testDevice(t)
+	r := NewRunner(dev, ns, nvme.PathDirect)
+	z := NewZipf(sim.NewRNG(5), 100, 0.9)
+	if err := r.ZipfReads(z, 300); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Stats().Reads != 300 {
+		t.Fatal("zipf reads miscounted")
+	}
+}
+
+func TestAlternatingReadsRoundRobin(t *testing.T) {
+	dev, ns, _ := testDevice(t)
+	r := NewRunner(dev, ns, nvme.PathDirect)
+	groups := [][]ftl.LBA{{1, 2}, {100}}
+	if err := r.AlternatingReads(groups, 10); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Stats().Reads != 10 {
+		t.Fatalf("reads = %d", ns.Stats().Reads)
+	}
+	if err := r.AlternatingReads(nil, 1); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+	if err := r.AlternatingReads([][]ftl.LBA{{}}, 1); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestMeasureIOPS(t *testing.T) {
+	dev, ns, clk := testDevice(t)
+	r := NewRunner(dev, ns, nvme.PathDirect)
+	iops, err := MeasureIOPS(clk, 1000, func() error {
+		return r.UniformReads(sim.NewRNG(6), 10, 1000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iops <= 0 {
+		t.Fatalf("iops = %v", iops)
+	}
+}
