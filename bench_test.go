@@ -34,16 +34,24 @@ func (w *testWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// runExperiment executes one registered experiment b.N times.
+// runExperiment executes one registered experiment b.N times with the
+// default (GOMAXPROCS-wide) trial engine.
 func runExperiment(b *testing.B, id string) {
+	runExperimentWorkers(b, id, 0)
+}
+
+// runExperimentWorkers executes one experiment b.N times at a fixed
+// trial-engine width.
+func runExperimentWorkers(b *testing.B, id string, workers int) {
 	e, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	w := benchOut(b)
+	opt := experiments.Options{Quick: true, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(w, true); err != nil {
+		if err := e.Run(w, opt); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}
@@ -93,6 +101,14 @@ func BenchmarkSection5Mitigations(b *testing.B) { runExperiment(b, "mitig") }
 // factor, and L2P layout lookup cost.
 func BenchmarkDesignAblations(b *testing.B) { runExperiment(b, "ablations") }
 
+// BenchmarkTrialEngineSerial and BenchmarkTrialEngineParallel measure the
+// same trial-heavy experiment (Table 1) at one worker versus the default
+// GOMAXPROCS-wide pool. Their ns/op ratio is the engine's wall-clock
+// speedup; the printed tables are byte-identical (see
+// TestParallelOutputIdentical).
+func BenchmarkTrialEngineSerial(b *testing.B)   { runExperimentWorkers(b, "table1", 1) }
+func BenchmarkTrialEngineParallel(b *testing.B) { runExperimentWorkers(b, "table1", 0) }
+
 // TestAllExperimentsComplete runs every registered experiment end to end
 // (quick mode) — the repository's top-level integration test.
 func TestAllExperimentsComplete(t *testing.T) {
@@ -102,7 +118,7 @@ func TestAllExperimentsComplete(t *testing.T) {
 	for _, e := range experiments.All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			if err := e.Run(io.Discard, true); err != nil {
+			if err := e.Run(io.Discard, experiments.Options{Quick: true}); err != nil {
 				t.Fatalf("%s (%s): %v", e.ID, e.Ref, err)
 			}
 		})

@@ -1,0 +1,124 @@
+// Command benchjson measures the parallel trial engine and emits a
+// machine-readable report. For each trial-heavy experiment it runs quick
+// mode once with a single worker and once with the full pool, then writes
+// ns/op for both plus the wall-clock speedup to a JSON file (default
+// BENCH_parallel.json) that CI or tooling can diff.
+//
+// Usage:
+//
+//	benchjson                       # all engine-backed experiments
+//	benchjson -exp table1,prob      # a subset
+//	benchjson -reps 3 -out out.json # best-of-3, custom path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"ftlhammer/internal/experiments"
+)
+
+// engineExperiments are the experiments whose runtime is dominated by
+// independent trials, i.e. where the engine's fan-out shows up as
+// wall-clock speedup.
+var engineExperiments = []string{"table1", "prob", "calib", "ttl", "mitig", "ablations"}
+
+// result is one experiment's measurement.
+type result struct {
+	Name       string  `json:"name"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Reps       int      `json:"reps"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_parallel.json", "output path")
+		exps = flag.String("exp", strings.Join(engineExperiments, ","),
+			"comma-separated experiment ids to measure")
+		reps = flag.Int("reps", 1, "repetitions per measurement (best run kept)")
+	)
+	flag.Parse()
+
+	workers := runtime.GOMAXPROCS(0)
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: workers,
+		Reps:       *reps,
+	}
+	for _, id := range strings.Split(*exps, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		serial, err := timeRun(e, 1, *reps)
+		if err != nil {
+			fatal(fmt.Errorf("%s serial: %w", id, err))
+		}
+		parallel, err := timeRun(e, workers, *reps)
+		if err != nil {
+			fatal(fmt.Errorf("%s parallel: %w", id, err))
+		}
+		r := result{
+			Name:       id,
+			SerialNs:   serial.Nanoseconds(),
+			ParallelNs: parallel.Nanoseconds(),
+			Workers:    workers,
+			Speedup:    float64(serial) / float64(parallel),
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-10s serial %12v  parallel(%d) %12v  speedup %.2fx\n",
+			id, serial.Round(time.Millisecond), workers, parallel.Round(time.Millisecond), r.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// timeRun executes the experiment reps times at the given worker count and
+// returns the fastest wall-clock time.
+func timeRun(e experiments.Experiment, workers, reps int) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := e.Run(io.Discard, experiments.Options{Quick: true, Workers: workers}); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

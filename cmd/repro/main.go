@@ -6,15 +6,19 @@
 //	repro -exp table1           # run one experiment
 //	repro -all                  # run everything (paper order)
 //	repro -all -full            # full-scale populations (slower)
+//	repro -all -parallel 1      # serial trial engine (output is identical)
 //
 // Each experiment prints the paper's reported values next to the
 // simulation's measured values so shapes can be compared directly.
+// Independent trials fan across -parallel workers; the worker count only
+// changes wall-clock time, never output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ftlhammer/internal/experiments"
@@ -22,12 +26,19 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		expID = flag.String("exp", "", "run a single experiment by id")
-		all   = flag.Bool("all", false, "run every experiment in paper order")
-		full  = flag.Bool("full", false, "full-scale populations instead of quick mode")
+		list     = flag.Bool("list", false, "list available experiments")
+		expID    = flag.String("exp", "", "run a single experiment by id")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		full     = flag.Bool("full", false, "full-scale populations instead of quick mode")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"trial-engine workers; output is identical at any value")
 	)
 	flag.Parse()
+
+	opt := experiments.Options{Quick: true, Workers: *parallel}
+	if *full {
+		opt.Quick = false
+	}
 
 	switch {
 	case *list:
@@ -40,10 +51,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runOne(e, !*full)
+		runOne(e, opt)
 	case *all:
 		for _, e := range experiments.All() {
-			runOne(e, !*full)
+			runOne(e, opt)
 		}
 	default:
 		flag.Usage()
@@ -51,9 +62,9 @@ func main() {
 	}
 }
 
-func runOne(e experiments.Experiment, quick bool) {
+func runOne(e experiments.Experiment, opt experiments.Options) {
 	start := time.Now()
-	if err := e.Run(os.Stdout, quick); err != nil {
+	if err := e.Run(os.Stdout, opt); err != nil {
 		fatal(fmt.Errorf("%s (%s): %w", e.ID, e.Ref, err))
 	}
 	fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))

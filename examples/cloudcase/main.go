@@ -15,11 +15,12 @@ import (
 )
 
 func main() {
-	if err := experiments.Figure2(os.Stdout, true); err != nil {
+	opt := experiments.Options{Quick: true}
+	if err := experiments.Figure2(os.Stdout, opt); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	if err := experiments.Escalation(os.Stdout, true); err != nil {
+	if err := experiments.Escalation(os.Stdout, opt); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	if err := experiments.Mitigations5(os.Stdout, true); err != nil {
+	if err := experiments.Mitigations5(os.Stdout, experiments.Options{Quick: true}); err != nil {
 		log.Fatal(err)
 	}
 }

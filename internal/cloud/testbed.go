@@ -80,8 +80,13 @@ func DefaultConfig() Config {
 	return Config{Seed: 0x5511}
 }
 
-// Testbed is the assembled environment.
+// Testbed is the assembled environment. It lives in a single simulation
+// World and must be driven from one goroutine; parallel harnesses build
+// one testbed per trial.
 type Testbed struct {
+	// World is the testbed's simulation world (clock + seed-derived
+	// random streams); Clock aliases World.Clock.
+	World  *sim.World
 	Clock  *sim.Clock
 	DRAM   *dram.Module
 	Flash  *nand.Array
@@ -128,8 +133,8 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	if cfg.VictimFraction <= 0 || cfg.VictimFraction >= 1 {
 		return nil, fmt.Errorf("cloud: VictimFraction %v out of (0,1)", cfg.VictimFraction)
 	}
-	clk := sim.NewClock()
-	mem := dram.New(cfg.DRAM, clk)
+	world := sim.NewWorld(cfg.Seed)
+	mem := dram.New(cfg.DRAM, world)
 	flash := nand.New(cfg.FlashGeometry, cfg.FlashLatency)
 	fcfg := cfg.FTL
 	if fcfg.NumLBAs == 0 {
@@ -142,7 +147,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	dev := nvme.New(nvme.Config{}, f, mem, flash, clk)
+	dev := nvme.New(nvme.Config{}, f, mem, flash, world)
 	if cfg.Guard != nil {
 		dev.AttachGuard(guard.New(*cfg.Guard))
 	}
@@ -159,7 +164,8 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb := &Testbed{
-		Clock:      clk,
+		World:      world,
+		Clock:      world.Clock,
 		DRAM:       mem,
 		Flash:      flash,
 		FTL:        f,

@@ -34,6 +34,10 @@ func NewAttacker(dev *nvme.Device, ns *nvme.Namespace, path nvme.Path) *Attacker
 	return &Attacker{Dev: dev, NS: ns, Path: path, buf: make([]byte, dev.BlockBytes())}
 }
 
+// World returns the simulation world of the attacked device; attacker-side
+// randomness should derive from its streams so trials stay reproducible.
+func (a *Attacker) World() *sim.World { return a.Dev.World() }
+
 // HammerPlan is one ready-to-run double-sided configuration: the DRAM
 // triple plus the logical blocks whose L2P lookups activate each aggressor
 // row, and (optionally) a decoy for TRR-synchronized many-sided patterns.

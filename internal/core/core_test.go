@@ -268,6 +268,9 @@ func TestMeasuredRateExceedsRequired(t *testing.T) {
 }
 
 func TestTemplateSeparatesVulnerableRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale; skipped with -short")
+	}
 	tb := fastTestbed(t, func(c *cloud.Config) {
 		c.DRAM.Profile.WeakCellsPerRow = 0.5 // make clean rows common
 		// Same-owner triples need physically contiguous same-partition
@@ -467,6 +470,9 @@ func TestSprayBlockedByForbidIndirect(t *testing.T) {
 // --- end to end ---
 
 func TestCampaignLeaksVictimData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale; skipped with -short")
+	}
 	// Amplification off: the x5 hack multiplies row-conflict traffic
 	// and is only needed when the DRAM is barely vulnerable; this
 	// profile is not. Dense spray maximizes the fraction of victim-row
@@ -503,6 +509,9 @@ func TestCampaignLeaksVictimData(t *testing.T) {
 }
 
 func TestCampaignChurnKeepsFSConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale; skipped with -short")
+	}
 	// With invulnerable DRAM the campaign is pure churn (spray, hammer
 	// with no effect, respray): the filesystem and FTL accounting must
 	// stay exactly consistent. Regression test for the GC headroom and
@@ -546,6 +555,9 @@ func minInt(a, b int) int {
 }
 
 func TestCampaignFlipLocalityAndCollateralDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale; skipped with -short")
+	}
 	// Under attack, flips must land overwhelmingly in victim-partition
 	// translations (that is what the targeted triples sandwich). The
 	// campaign must survive to completion even though flips can corrupt
@@ -670,6 +682,9 @@ func TestSingleSidedHammerOption(t *testing.T) {
 }
 
 func TestCampaignSurvivesVictimBackgroundTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale; skipped with -short")
+	}
 	// The victim tenant keeps doing its own I/O while the attack runs:
 	// interleave Zipf-distributed victim reads with campaign cycles and
 	// confirm flips still land.
@@ -763,6 +778,9 @@ func TestCacheEvictionBypass(t *testing.T) {
 }
 
 func TestGuardNeutralizesCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale; skipped with -short")
+	}
 	// The firmware-side hammer guard (internal/guard) must detect the
 	// attack signature, throttle only the attacker namespace, and keep
 	// flips from accumulating — while the victim's own traffic runs

@@ -90,6 +90,17 @@ func (p ProbParams) CyclesFor(target float64) int {
 // belonged to a sprayed indirect block AND its new physical target holds
 // malicious content.
 func (p ProbParams) MonteCarlo(trials int, seed uint64) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	return float64(p.MonteCarloShard(trials, seed)) / float64(trials)
+}
+
+// MonteCarloShard runs `trials` independent cycles from its own random
+// stream and returns the success count. It is the mergeable unit of the
+// parallel estimator: shard counts sum to the same total regardless of
+// which worker ran which shard.
+func (p ProbParams) MonteCarloShard(trials int, seed uint64) int {
 	if err := p.Validate(); err != nil {
 		return 0
 	}
@@ -109,5 +120,5 @@ func (p ProbParams) MonteCarlo(trials int, seed uint64) float64 {
 			success++
 		}
 	}
-	return float64(success) / float64(trials)
+	return success
 }

@@ -37,9 +37,23 @@ type rowState struct {
 	gen uint64
 	// weak lists the row's susceptible cells (often empty).
 	weak []weakCell
+	// minThr is the smallest threshold among weak cells (^0 when the row
+	// has none); the disturb hot path skips the cell scan below it.
+	minThr uint64
 	// sampled records whether weak has been materialized.
 	sampled bool
 }
+
+// rowCacheEnt is one slot of the bank's direct-mapped row-state cache.
+type rowCacheEnt struct {
+	row int32
+	rs  *rowState
+}
+
+// rowCacheSlots is the size of the per-bank row-state cache. A hammer
+// pattern disturbs a handful of consecutive rows around each aggressor, so
+// indexing by row&(slots-1) keeps all of them resident without collisions.
+const rowCacheSlots = 8
 
 // bankState tracks one bank's row buffer and its mitigation state.
 type bankState struct {
@@ -47,6 +61,9 @@ type bankState struct {
 	openRow int
 	// rows holds lazily created per-row state.
 	rows map[int]*rowState
+	// rowCache short-circuits the rows map for recently disturbed rows
+	// (the hot hammering set).
+	rowCache [rowCacheSlots]rowCacheEnt
 	// trrSampler holds the rows sampled since the last refresh command,
 	// with activation counts (the in-DRAM TRR mitigation's view).
 	trrSampler map[int]uint64
@@ -60,11 +77,16 @@ func newBankState() *bankState {
 
 // row returns (creating if needed) the state for a physical row.
 func (b *bankState) row(r int) *rowState {
+	e := &b.rowCache[r&(rowCacheSlots-1)]
+	if e.rs != nil && int(e.row) == r {
+		return e.rs
+	}
 	rs, ok := b.rows[r]
 	if !ok {
 		rs = &rowState{}
 		b.rows[r] = rs
 	}
+	e.row, e.rs = int32(r), rs
 	return rs
 }
 

@@ -185,8 +185,8 @@ func testModule(t *testing.T, mutate func(*Config)) (*Module, *sim.Clock) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	clk := sim.NewClock()
-	return New(cfg, clk), clk
+	world := sim.NewWorld(cfg.Seed)
+	return New(cfg, world), world.Clock
 }
 
 // rowAddr returns the first address of a physical row in bank 0.
@@ -585,8 +585,9 @@ func TestBoostIncreasesWeakDensity(t *testing.T) {
 		Seed: 7,
 	}
 	countFlips := func(cfg Config) int {
-		clk := sim.NewClock()
-		m := New(cfg, clk)
+		world := sim.NewWorld(1)
+		clk := world.Clock
+		m := New(cfg, world)
 		flips := 0
 		for victim := 1; victim < 200; victim += 4 {
 			for _, a := range m.Mapper().RowAddrs(Location{Bank: 0, Row: victim}, 64) {
@@ -718,8 +719,9 @@ func TestSameOwnerTriples(t *testing.T) {
 }
 
 func BenchmarkActivate(b *testing.B) {
-	clk := sim.NewClock()
-	m := New(Config{Geometry: SmallGeometry(), Profile: TestbedProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	clk := world.Clock
+	m := New(Config{Geometry: SmallGeometry(), Profile: TestbedProfile(), Seed: 1}, world)
 	a1, a2 := rowAddr(m, 100), rowAddr(m, 102)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -733,8 +735,8 @@ func BenchmarkActivate(b *testing.B) {
 }
 
 func BenchmarkRead4K(b *testing.B) {
-	clk := sim.NewClock()
-	m := New(Config{Geometry: SmallGeometry(), Profile: TestbedProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	m := New(Config{Geometry: SmallGeometry(), Profile: TestbedProfile(), Seed: 1}, world)
 	buf := make([]byte, 4096)
 	b.SetBytes(4096)
 	b.ResetTimer()
@@ -795,8 +797,9 @@ func TestTRRLargerSamplerCatchesMoreSides(t *testing.T) {
 			TRR:  TRRConfig{Enabled: true, SamplerSize: sampler, CommandsPerWindow: 8192},
 			Seed: 42,
 		}
-		clk := sim.NewClock()
-		m := New(cfg, clk)
+		world := sim.NewWorld(1)
+		clk := world.Clock
+		m := New(cfg, world)
 		victim := 901
 		buf := make([]byte, 64)
 		for i := range buf {

@@ -213,16 +213,28 @@ func (m *Mapper) Unmap(loc Location) uint64 {
 // RowAddrs returns every physical address held by the given bank/physical
 // row, at `stride` byte granularity (stride must divide the line size or be
 // a multiple of it). This is the offline enumeration primitive the attacker
-// uses to find which L2P entries share aggressor rows.
+// uses to find which L2P entries share aggressor rows. Hot callers that
+// enumerate rows in a loop should reuse a scratch slice via AppendRowAddrs
+// instead; RowAddrs allocates a fresh slice per call.
 func (m *Mapper) RowAddrs(loc Location, stride int) []uint64 {
+	return m.AppendRowAddrs(nil, loc, stride)
+}
+
+// AppendRowAddrs appends the row's addresses to dst and returns the
+// extended slice, allocating only when dst lacks capacity. Passing
+// dst[:0] of a reused scratch buffer makes repeated enumeration
+// allocation-free.
+func (m *Mapper) AppendRowAddrs(dst []uint64, loc Location, stride int) []uint64 {
 	if stride <= 0 {
 		panic("dram: non-positive stride")
 	}
-	addrs := make([]uint64, 0, m.geo.RowBytes/stride)
+	if dst == nil {
+		dst = make([]uint64, 0, m.geo.RowBytes/stride)
+	}
 	for col := 0; col < m.geo.RowBytes; col += stride {
 		l := loc
 		l.Col = col
-		addrs = append(addrs, m.Unmap(l))
+		dst = append(dst, m.Unmap(l))
 	}
-	return addrs
+	return dst
 }

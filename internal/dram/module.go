@@ -158,10 +158,25 @@ type frame struct {
 	check []byte // one SEC-DED check byte per 8 data bytes (ECC only)
 }
 
+// mapCacheBits sizes the module's direct-mapped Map-result cache
+// (1<<mapCacheBits entries). The mapping is a pure function of the
+// address, so entries never need invalidation; hammering alternates over a
+// tiny address set, so a small cache captures nearly every lookup.
+const mapCacheBits = 4
+
+// mapCacheEnt memoizes Map for one line-aligned address; line is stored
+// +1 so the zero value is never a hit.
+type mapCacheEnt struct {
+	line uint64
+	loc  Location
+}
+
 // Module is a simulated DRAM subsystem with a rowhammer fault model.
 // It is not safe for concurrent use; the simulation is single-threaded.
+// Parallel harnesses build one module per trial, each in its own World.
 type Module struct {
 	cfg    Config
+	world  *sim.World
 	clk    *sim.Clock
 	mapper *Mapper
 	banks  []*bankState
@@ -170,6 +185,15 @@ type Module struct {
 	stats  Stats
 	flips  []FlipEvent
 	onFlip func(FlipEvent)
+	// mapCache memoizes the controller address mapping per line.
+	mapCache [1 << mapCacheBits]mapCacheEnt
+	// thrFloor is the minimum possible flip threshold under this profile
+	// (HCfirst at unit spread); rows disturbed below it cannot flip, so
+	// the hot path skips weak-cell sampling and scanning entirely.
+	thrFloor uint64
+	// neverFlips is set when the configuration cannot produce weak cells
+	// at all, reducing disturbance accounting to a no-op.
+	neverFlips bool
 	// pendingStall accumulates time the DRAM could not keep up with the
 	// requested activation rate (tRC/tFAW); the device front end drains
 	// it into the clock as back-pressure.
@@ -181,13 +205,14 @@ type Module struct {
 	rankActs [][4]sim.Time
 }
 
-// New builds a module. It panics on invalid configuration.
-func New(cfg Config, clk *sim.Clock) *Module {
+// New builds a module inside the given world. It panics on invalid
+// configuration.
+func New(cfg Config, w *sim.World) *Module {
 	if err := cfg.Geometry.Validate(); err != nil {
 		panic(err)
 	}
-	if clk == nil {
-		panic("dram: nil clock")
+	if w == nil || w.Clock == nil {
+		panic("dram: nil world")
 	}
 	if cfg.RefreshWindow == 0 {
 		cfg.RefreshWindow = 64 * sim.Millisecond
@@ -202,7 +227,8 @@ func New(cfg Config, clk *sim.Clock) *Module {
 	}
 	m := &Module{
 		cfg:    cfg,
-		clk:    clk,
+		world:  w,
+		clk:    w.Clock,
 		mapper: NewMapper(cfg.Geometry, cfg.Mapping),
 		banks:  make([]*bankState, cfg.Geometry.TotalBanks()),
 		frames: make(map[uint64]*frame),
@@ -213,8 +239,16 @@ func New(cfg Config, clk *sim.Clock) *Module {
 	}
 	m.bankBusyUntil = make([]sim.Time, cfg.Geometry.TotalBanks())
 	m.rankActs = make([][4]sim.Time, cfg.Geometry.Channels*cfg.Geometry.DIMMs*cfg.Geometry.Ranks)
+	m.thrFloor = cfg.Profile.HCfirst * disturbScale
+	if cfg.Profile.HCfirst > 1<<58 {
+		m.thrFloor = 1 << 62 // match the per-cell threshold clamp
+	}
+	m.neverFlips = cfg.Profile.WeakCellsPerRow <= 0
 	return m
 }
+
+// World returns the world the module simulates in.
+func (m *Module) World() *sim.World { return m.world }
 
 // TakeStall returns and clears the accumulated command-rate back-pressure.
 // Device front ends call this after each operation and charge the result
@@ -374,9 +408,24 @@ func (m *Module) Activate(addr uint64) {
 	m.touchLine(addr)
 }
 
+// mapLine returns the location of the line containing addr, memoizing the
+// (pure) controller mapping in a small direct-mapped cache. The returned
+// location is line-aligned: Col holds only the column-high bits, which is
+// all the activation/disturbance bookkeeping needs.
+func (m *Module) mapLine(addr uint64) Location {
+	line := addr / lineBytes
+	e := &m.mapCache[(line*0x9e3779b97f4a7c15)>>(64-mapCacheBits)]
+	if e.line == line+1 {
+		return e.loc
+	}
+	loc := m.mapper.Map(line * lineBytes)
+	e.line, e.loc = line+1, loc
+	return loc
+}
+
 // touchLine performs activation/disturbance bookkeeping for one line.
 func (m *Module) touchLine(addr uint64) {
-	loc := m.mapper.Map(addr)
+	loc := m.mapLine(addr)
 	bankIdx := m.cfg.Geometry.FlatBank(loc)
 	bank := m.banks[bankIdx]
 
@@ -412,16 +461,27 @@ func (m *Module) touchLine(addr uint64) {
 
 // disturb applies pressure to one victim row and fires any flips.
 func (m *Module) disturb(bank *bankState, bankIdx int, aggLoc Location, victimRow int, weight uint64, now sim.Time) {
+	if m.neverFlips {
+		// No configuration of this profile can produce weak cells, so
+		// disturbance accounting is unobservable; skip it entirely.
+		return
+	}
 	if victimRow < 0 || victimRow >= m.cfg.Geometry.RowsPerBank {
 		return
 	}
 	rs := bank.row(victimRow)
 	m.ensureEpoch(rs, victimRow, now)
+	rs.disturb += weight
+	if rs.disturb < m.thrFloor {
+		// Below the weakest possible cell's threshold nothing can flip;
+		// rows that never accumulate this much pressure never even pay
+		// for weak-cell sampling.
+		return
+	}
 	if !rs.sampled {
 		m.sampleWeakCells(rs, bankIdx, victimRow)
 	}
-	rs.disturb += weight
-	if len(rs.weak) == 0 {
+	if rs.disturb < rs.minThr {
 		return
 	}
 	for i := range rs.weak {
@@ -448,6 +508,7 @@ func (m *Module) ensureEpoch(rs *rowState, row int, now sim.Time) {
 // deterministically from the module seed and the row's identity.
 func (m *Module) sampleWeakCells(rs *rowState, bankIdx, row int) {
 	rs.sampled = true
+	rs.minThr = ^uint64(0)
 	mean := m.cfg.Profile.WeakCellsPerRow
 	for _, b := range m.cfg.Boosts {
 		if row >= b.FromRow && row < b.ToRow {
@@ -478,6 +539,9 @@ func (m *Module) sampleWeakCells(rs *rowState, bankIdx, row int) {
 			threshold:    uint64(thr),
 			leaksToOne:   rng.Bool(),
 			attemptedGen: ^uint64(0),
+		}
+		if rs.weak[i].threshold < rs.minThr {
+			rs.minThr = rs.weak[i].threshold
 		}
 	}
 }

@@ -22,24 +22,27 @@ import (
 //   - firmware amplification factor (x1/x2/x5, §4.1);
 //   - linear vs hashed L2P lookup cost (the price of the §5 randomization
 //     mitigation).
-func Ablations(w io.Writer, quick bool) error {
+//
+// The sidedness and amplification sweeps fan their independent cells
+// across the trial engine; each cell runs in its own world.
+func Ablations(w io.Writer, opt Options) error {
 	section(w, "Ablations", "design-choice studies")
-	if err := ablateSidedness(w); err != nil {
+	if err := ablateSidedness(w, opt); err != nil {
 		return err
 	}
 	if err := ablateHalfDouble(w); err != nil {
 		return err
 	}
-	if err := ablateAmplification(w, quick); err != nil {
+	if err := ablateAmplification(w, opt); err != nil {
 		return err
 	}
-	return ablateL2PLayout(w, quick)
+	return ablateL2PLayout(w, opt.Quick)
 }
 
 // ablationModule builds a module with a dense weak-cell population for
 // counting flips under different patterns.
 func ablationModule(policy dram.RowPolicy, blast2 uint64) (*dram.Module, *sim.Clock) {
-	clk := sim.NewClock()
+	world := sim.NewWorld(0xAB1)
 	m := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile: dram.Profile{
@@ -51,8 +54,8 @@ func ablationModule(policy dram.RowPolicy, blast2 uint64) (*dram.Module, *sim.Cl
 		Policy:       policy,
 		Blast2Weight: blast2,
 		Seed:         0xAB1,
-	}, clk)
-	return m, clk
+	}, world)
+	return m, world.Clock
 }
 
 // pattern drives one access pattern at the given rate for a fixed access
@@ -78,8 +81,10 @@ func prepRows(m *dram.Module, lo, hi int) error {
 	for i := range buf {
 		buf[i] = 0xAA
 	}
+	var scratch []uint64
 	for r := lo; r <= hi; r++ {
-		for _, a := range m.Mapper().RowAddrs(dram.Location{Bank: 0, Row: r}, 64) {
+		scratch = m.Mapper().AppendRowAddrs(scratch[:0], dram.Location{Bank: 0, Row: r}, 64)
+		for _, a := range scratch {
 			if err := m.Write(a, buf); err != nil {
 				return err
 			}
@@ -88,7 +93,7 @@ func prepRows(m *dram.Module, lo, hi int) error {
 	return nil
 }
 
-func ablateSidedness(w io.Writer) error {
+func ablateSidedness(w io.Writer, opt Options) error {
 	fmt.Fprintf(w, "\nsidedness x row policy (equal near-threshold access budget):\n")
 	fmt.Fprintf(w, "%-28s %12s %12s\n", "pattern", "open-row", "closed-row")
 	// 1.5x the 24000 threshold: a pattern must concentrate its whole
@@ -105,20 +110,31 @@ func ablateSidedness(w io.Writer) error {
 		{"single-sided (v-1, far)", func(v int) []int { return []int{v - 1, v + 400} }},
 		{"one-location (v-1 only)", func(v int) []int { return []int{v - 1} }},
 	}
-	results := make(map[string]map[dram.RowPolicy]uint64)
-	for _, p := range pats {
-		results[p.name] = make(map[dram.RowPolicy]uint64)
-		for _, pol := range []dram.RowPolicy{dram.OpenRow, dram.ClosedRow} {
-			m, clk := ablationModule(pol, 0)
-			total := uint64(0)
-			// Average over several victim rows to smooth cell placement.
-			for _, v := range []int{101, 201, 301, 401} {
-				if err := prepRows(m, v-2, v+2); err != nil {
-					return err
-				}
-				total += runPattern(m, clk, p.rows(v), rate, budget)
+	policies := []dram.RowPolicy{dram.OpenRow, dram.ClosedRow}
+	// Each (pattern, policy) cell is an independent trial on its own
+	// module; fan the 3x2 grid and reassemble in table order.
+	cells, err := runTrials(opt.WorkerCount(), len(pats)*len(policies), func(i int) (uint64, error) {
+		p := pats[i/len(policies)]
+		pol := policies[i%len(policies)]
+		m, clk := ablationModule(pol, 0)
+		total := uint64(0)
+		// Average over several victim rows to smooth cell placement.
+		for _, v := range []int{101, 201, 301, 401} {
+			if err := prepRows(m, v-2, v+2); err != nil {
+				return 0, err
 			}
-			results[p.name][pol] = total
+			total += runPattern(m, clk, p.rows(v), rate, budget)
+		}
+		return total, nil
+	})
+	if err != nil {
+		return err
+	}
+	results := make(map[string]map[dram.RowPolicy]uint64)
+	for i, p := range pats {
+		results[p.name] = map[dram.RowPolicy]uint64{
+			dram.OpenRow:   cells[i*len(policies)],
+			dram.ClosedRow: cells[i*len(policies)+1],
 		}
 	}
 	for _, p := range pats {
@@ -160,15 +176,22 @@ func ablateHalfDouble(w io.Writer) error {
 	return nil
 }
 
-func ablateAmplification(w io.Writer, quick bool) error {
+func ablateAmplification(w io.Writer, opt Options) error {
 	fmt.Fprintf(w, "\nfirmware amplification (device-level, equal I/O budget):\n")
 	fmt.Fprintf(w, "%-14s %14s %10s\n", "HammersPerIO", "activations/IO", "flips")
 	ios := 120000
-	if quick {
+	if opt.Quick {
 		ios = 60000
 	}
-	for _, amp := range []int{1, 2, 5} {
-		clk := sim.NewClock()
+	amps := []int{1, 2, 5}
+	type ampRow struct {
+		perIO float64
+		flips uint64
+	}
+	rows, err := runTrials(opt.WorkerCount(), len(amps), func(i int) (ampRow, error) {
+		amp := amps[i]
+		world := sim.NewWorld(0xAB2)
+		clk := world.Clock
 		mem := dram.New(dram.Config{
 			Geometry: dram.SSDGeometry(),
 			Profile: dram.Profile{
@@ -179,11 +202,11 @@ func ablateAmplification(w io.Writer, quick bool) error {
 			},
 			Mapping: dram.MapperConfig{XorBank: true},
 			Seed:    0xAB2,
-		}, clk)
+		}, world)
 		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 		f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4, HammersPerIO: amp}, mem, flash)
 		if err != nil {
-			return err
+			return ampRow{}, err
 		}
 		// Alternate two LBAs whose entries share a bank in different
 		// rows; with the tiny flash the whole table fits in few rows,
@@ -194,16 +217,22 @@ func ablateAmplification(w io.Writer, quick bool) error {
 		st0 := mem.Stats()
 		for i := 0; i < ios/2; i++ {
 			if _, err := f.ReadLBA(a, buf); err != nil {
-				return err
+				return ampRow{}, err
 			}
 			if _, err := f.ReadLBA(b, buf); err != nil {
-				return err
+				return ampRow{}, err
 			}
 			clk.Advance(300 * sim.Nanosecond)
 		}
 		st1 := mem.Stats()
 		perIO := float64((st1.Activations+st1.RowHits)-(st0.Activations+st0.RowHits)) / float64(ios)
-		fmt.Fprintf(w, "%-14d %14.1f %10d\n", amp, perIO, st1.Flips-st0.Flips)
+		return ampRow{perIO: perIO, flips: st1.Flips - st0.Flips}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, amp := range amps {
+		fmt.Fprintf(w, "%-14d %14.1f %10d\n", amp, rows[i].perIO, rows[i].flips)
 	}
 	fmt.Fprintf(w, "-> amplification multiplies per-IO activations (the paper's x5 testbed hack)\n")
 	return nil
@@ -216,12 +245,12 @@ func ablateL2PLayout(w io.Writer, quick bool) error {
 		ios = 8000
 	}
 	for _, hashed := range []bool{false, true} {
-		clk := sim.NewClock()
+		world := sim.NewWorld(1)
 		mem := dram.New(dram.Config{
 			Geometry: dram.SmallGeometry(),
 			Profile:  dram.InvulnerableProfile(),
 			Seed:     1,
-		}, clk)
+		}, world)
 		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 		f, err := ftl.New(ftl.Config{
 			NumLBAs: flash.Geometry().TotalPages() * 3 / 4,

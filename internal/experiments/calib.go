@@ -21,12 +21,12 @@ import (
 //     so the SPDK-level access rate must be ~7 M/s;
 //   - the mapping exposes ~32 cross-partition vulnerable row triples
 //     ("on the lower end").
-func Calibration41(w io.Writer, quick bool) error {
+func Calibration41(w io.Writer, opt Options) error {
 	section(w, "§4.1", "testbed calibration")
 
 	// L2P size ratio.
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SSDGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SSDGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.DefaultGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 15 / 16}, mem, flash)
 	if err != nil {
@@ -79,18 +79,24 @@ func Calibration41(w io.Writer, quick bool) error {
 	// Cross-partition vulnerable-triple census: candidates from the
 	// offline analysis, then a per-row hammerability test on an
 	// identically-configured standalone module (weak cells are a
-	// deterministic function of seed, bank and row).
+	// deterministic function of seed, bank and row). Each candidate probe
+	// is an independent trial, so the census fans across the engine.
 	candidates := plans
 	fmt.Fprintf(w, "cross-partition triple candidates: %d\n", len(candidates))
 	probe := tb.Config().DRAM
-	vulnerable := 0
 	limit := len(candidates)
-	if quick && limit > 24 {
+	if opt.Quick && limit > 24 {
 		limit = 24
 	}
-	for i := 0; i < limit; i++ {
-		tr := candidates[i].Triple
-		if rowFlips(probe, tr) {
+	verdicts, err := runTrials(opt.WorkerCount(), limit, func(i int) (bool, error) {
+		return rowFlips(probe, candidates[i].Triple), nil
+	})
+	if err != nil {
+		return err
+	}
+	vulnerable := 0
+	for _, v := range verdicts {
+		if v {
 			vulnerable++
 		}
 	}
@@ -106,8 +112,9 @@ func Calibration41(w io.Writer, quick bool) error {
 // rowFlips tests one triple's victim row for hammerability on a fresh
 // module with the same fault seed.
 func rowFlips(cfg dram.Config, tr dram.Triple) bool {
-	clk := sim.NewClock()
-	m := dram.New(cfg, clk)
+	world := sim.NewWorld(cfg.Seed)
+	clk := world.Clock
+	m := dram.New(cfg, world)
 	buf := make([]byte, 64)
 	for i := range buf {
 		buf[i] = 0xAA // both bit polarities present

@@ -45,17 +45,20 @@ func hammerModule(m *dram.Module, clk *sim.Clock, victimRow int, rate float64, d
 }
 
 // fillVictimRow writes 0xFF over a row so true-cells have charge to lose.
-func fillVictimRow(m *dram.Module, row int) error {
+// The row-address scratch slice is reused across calls: pass the previous
+// return value (or nil) to keep the enumeration allocation-free in loops.
+func fillVictimRow(m *dram.Module, row int, scratch []uint64) ([]uint64, error) {
 	buf := make([]byte, 64)
 	for i := range buf {
 		buf[i] = 0xFF
 	}
-	for _, addr := range m.Mapper().RowAddrs(dram.Location{Bank: 0, Row: row}, 64) {
+	scratch = m.Mapper().AppendRowAddrs(scratch[:0], dram.Location{Bank: 0, Row: row}, 64)
+	for _, addr := range scratch {
 		if err := m.Write(addr, buf); err != nil {
-			return err
+			return scratch, err
 		}
 	}
-	return nil
+	return scratch, nil
 }
 
 // paperTestbedConfig is the §4.1 cloud environment at full scale: 1 GiB

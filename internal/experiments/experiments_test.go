@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -59,7 +60,8 @@ func TestMinimalFlipRateTracksThreshold(t *testing.T) {
 }
 
 func TestHammerModuleRespectsRate(t *testing.T) {
-	clk := sim.NewClock()
+	world := sim.NewWorld(9)
+	clk := world.Clock
 	m := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile: dram.Profile{
@@ -68,8 +70,8 @@ func TestHammerModuleRespectsRate(t *testing.T) {
 			WeakCellsPerRow: 8,
 		},
 		Seed: 9,
-	}, clk)
-	if err := fillVictimRow(m, 101); err != nil {
+	}, world)
+	if _, err := fillVictimRow(m, 101, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Below threshold rate: no flips even over many windows.
@@ -117,7 +119,7 @@ func TestQuickExperimentsProduceOutput(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := e.Run(&buf, true); err != nil {
+		if err := e.Run(&buf, Options{Quick: true}); err != nil {
 			t.Fatalf("%s: %v", tc.id, err)
 		}
 		if !strings.Contains(buf.String(), tc.want) {
@@ -130,7 +132,84 @@ func TestAblationsShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	if err := Ablations(io.Discard, true); err != nil {
+	if err := Ablations(io.Discard, Options{Quick: true}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// runOutput captures one experiment's full quick-mode output at a given
+// worker count.
+func runOutput(t *testing.T, id string, workers int) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Options{Quick: true, Workers: workers}); err != nil {
+		t.Fatalf("%s workers=%d: %v", id, workers, err)
+	}
+	return buf.String()
+}
+
+// TestParallelOutputIdentical is the engine's core guarantee: the trial
+// worker count never changes experiment output. Trials are sharded on
+// fixed boundaries with SplitSeed-derived per-shard seeds and merged in
+// trial order, so serial and 8-way runs must be byte-identical.
+func TestParallelOutputIdentical(t *testing.T) {
+	serial := runOutput(t, "prob", 1)
+	parallel := runOutput(t, "prob", 8)
+	if serial != parallel {
+		t.Fatalf("prob output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if testing.Short() {
+		t.Skip("table1 determinism is long; skipped with -short")
+	}
+	serial = runOutput(t, "table1", 1)
+	parallel = runOutput(t, "table1", 8)
+	if serial != parallel {
+		t.Fatalf("table1 output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestRunTrialsOrderAndErrors(t *testing.T) {
+	// Results come back in trial order regardless of workers.
+	for _, workers := range []int{1, 3, 16} {
+		got, err := runTrials(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: trial %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	// The lowest-numbered failing trial's error is reported at any width.
+	failAt := func(i int) (int, error) {
+		if i == 7 || i == 23 {
+			return 0, fmt.Errorf("trial %d failed", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4, 12} {
+		_, err := runTrials(workers, 40, failAt)
+		if err == nil || err.Error() != "trial 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want trial 7's error", workers, err)
+		}
+	}
+	// Panics propagate.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		runTrials(4, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			return 0, nil
+		})
+	}()
 }

@@ -16,11 +16,11 @@ import (
 // read workload alternating between LBAs whose L2P entries live in the two
 // aggressor rows flips a bit in the victim row, redirecting a logical
 // block to a different physical address.
-func Figure1(w io.Writer, quick bool) error {
+func Figure1(w io.Writer, opt Options) error {
 	section(w, "Figure 1", "two-sided FTL rowhammering redirects an L2P entry")
 
 	cfg := quickTestbedConfig(0xF1)
-	if !quick {
+	if !opt.Quick {
 		cfg = paperTestbedConfig(0xF1)
 	}
 	// Single-tenant: plain row mapping so same-owner triples exist.
@@ -72,7 +72,7 @@ func Figure1(w io.Writer, quick bool) error {
 		return m
 	}
 	maxPlans := 24
-	if !quick {
+	if !opt.Quick {
 		maxPlans = 64
 	}
 	for i, plan := range plans {

@@ -16,13 +16,13 @@ import (
 // VM with direct device access (b) is needed. The experiment measures the
 // achievable L2P access rate on each path and compares it with the
 // device's flip threshold.
-func Figure2(w io.Writer, quick bool) error {
+func Figure2(w io.Writer, opt Options) error {
 	section(w, "Figure 2", "attack paths: (a) victim-VM host-FS path vs (b) attacker VM direct access")
 	// Rates are what this experiment measures, so the real testbed
 	// threshold (3 M activations/s) is used even in quick mode; only the
 	// environment-population size shrinks.
 	cfg := paperTestbedConfig(0xF2)
-	if quick {
+	if opt.Quick {
 		cfg.VictimFillBlocks = 512
 	}
 	tb, err := cloud.NewTestbed(cfg)

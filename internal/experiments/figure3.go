@@ -15,12 +15,12 @@ import (
 // the cross-partition triples, and the scan stage detects a spray file
 // whose translation was redirected — through which the victim partition's
 // privileged content is dumped.
-func Figure3(w io.Writer, quick bool) error {
+func Figure3(w io.Writer, opt Options) error {
 	section(w, "Figure 3", "ext4 indirect-block exploit: unprivileged information leak")
 	cfg := quickTestbedConfig(0xF3)
 	cfg.FTL.HammersPerIO = 1
 	maxCycles := 16
-	if !quick {
+	if !opt.Quick {
 		cfg = paperTestbedConfig(0xF3)
 		maxCycles = 24
 	}
@@ -64,10 +64,10 @@ func Figure3(w io.Writer, quick bool) error {
 // Escalation demonstrates the §3.2 privilege-escalation consequence: a
 // single-bit translation corruption redirects the victim's setuid binary
 // to attacker polyglot content, which then "runs" as root.
-func Escalation(w io.Writer, quick bool) error {
+func Escalation(w io.Writer, opt Options) error {
 	section(w, "§3.2", "privilege escalation: setuid binary hijack via one-bit translation corruption")
 	cfg := quickTestbedConfig(0x35)
-	if !quick {
+	if !opt.Quick {
 		cfg = paperTestbedConfig(0x35)
 	}
 	tb, err := cloud.NewTestbed(cfg)

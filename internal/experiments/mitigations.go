@@ -21,73 +21,70 @@ type mitigationResult struct {
 	outcome   string // summary
 }
 
+// mitigationProbe is one §5 table row specification: a config mutation
+// plus the attack options probing it. Each probe builds its own testbed in
+// its own world, so probes are independent trials for the parallel engine.
+type mitigationProbe struct {
+	name   string
+	mutate func(*cloud.Config)
+	hopts  core.HammerOptions
+}
+
+// mitigationProbes returns the §5 probe matrix in table order.
+func mitigationProbes() []mitigationProbe {
+	gcfg := guard.DefaultConfig()
+	return []mitigationProbe{
+		{"none (baseline)", nil, core.HammerOptions{}},
+		{"ECC (SEC-DED per 64-bit word)", func(c *cloud.Config) {
+			c.DRAM.ECC = true
+		}, core.HammerOptions{}},
+		{"TRR (sampler=1)", func(c *cloud.Config) {
+			c.DRAM.TRR = dram.DefaultTRR()
+		}, core.HammerOptions{}},
+		{"TRR vs synchronized decoys", func(c *cloud.Config) {
+			c.DRAM.TRR = dram.DefaultTRR()
+		}, core.HammerOptions{SyncDecoy: true}},
+		{"PARA p=0.02", func(c *cloud.Config) {
+			c.DRAM.PARA = 0.02
+		}, core.HammerOptions{}},
+		{"2x refresh rate (32 ms window)", func(c *cloud.Config) {
+			c.DRAM.RefreshWindow = 32 * sim.Millisecond
+		}, core.HammerOptions{}},
+		{"FTL CPU cache for L2P", func(c *cloud.Config) {
+			c.FTL.Cache.Enabled = true
+			c.FTL.Cache.Lines = 1024
+		}, core.HammerOptions{}},
+		{"FTL cache vs eviction-aware reads", func(c *cloud.Config) {
+			c.FTL.Cache.Enabled = true
+			c.FTL.Cache.Lines = 1024
+		}, core.HammerOptions{CacheEvictLines: 1024}},
+		{"I/O rate limit (100K IOPS/ns)", func(c *cloud.Config) {
+			c.AttackerMaxIOPS = 100_000
+			c.VictimMaxIOPS = 100_000
+		}, core.HammerOptions{}},
+		{"hammer guard (ours: detect+throttle)", func(c *cloud.Config) {
+			c.Guard = &gcfg
+		}, core.HammerOptions{}},
+	}
+}
+
 // Mitigations5 evaluates the paper's §5 mitigation candidates against a
 // standardized attack probe: offline analysis, spray legality, achievable
 // rate, then a templated double-sided hammer over the attacker's own
 // partition with corruption detection through the production read path.
-func Mitigations5(w io.Writer, quick bool) error {
+// The probes fan across the trial engine and print in table order.
+func Mitigations5(w io.Writer, opt Options) error {
 	section(w, "§5", "mitigations")
-	var rows []mitigationResult
-
-	run := func(name string, mutate func(*cloud.Config), hopts core.HammerOptions) error {
-		r, err := probeMitigation(name, mutate, hopts, quick)
+	probes := mitigationProbes()
+	rows, err := runTrials(opt.WorkerCount(), len(probes), func(i int) (mitigationResult, error) {
+		p := probes[i]
+		r, err := probeMitigation(p.name, p.mutate, p.hopts, opt.Quick)
 		if err != nil {
-			return fmt.Errorf("experiments: mitigation %q: %w", name, err)
+			return mitigationResult{}, fmt.Errorf("experiments: mitigation %q: %w", p.name, err)
 		}
-		rows = append(rows, r)
-		return nil
-	}
-
-	if err := run("none (baseline)", nil, core.HammerOptions{}); err != nil {
-		return err
-	}
-	if err := run("ECC (SEC-DED per 64-bit word)", func(c *cloud.Config) {
-		c.DRAM.ECC = true
-	}, core.HammerOptions{}); err != nil {
-		return err
-	}
-	if err := run("TRR (sampler=1)", func(c *cloud.Config) {
-		c.DRAM.TRR = dram.DefaultTRR()
-	}, core.HammerOptions{}); err != nil {
-		return err
-	}
-	if err := run("TRR vs synchronized decoys", func(c *cloud.Config) {
-		c.DRAM.TRR = dram.DefaultTRR()
-	}, core.HammerOptions{SyncDecoy: true}); err != nil {
-		return err
-	}
-	if err := run("PARA p=0.02", func(c *cloud.Config) {
-		c.DRAM.PARA = 0.02
-	}, core.HammerOptions{}); err != nil {
-		return err
-	}
-	if err := run("2x refresh rate (32 ms window)", func(c *cloud.Config) {
-		c.DRAM.RefreshWindow = 32 * sim.Millisecond
-	}, core.HammerOptions{}); err != nil {
-		return err
-	}
-	if err := run("FTL CPU cache for L2P", func(c *cloud.Config) {
-		c.FTL.Cache.Enabled = true
-		c.FTL.Cache.Lines = 1024
-	}, core.HammerOptions{}); err != nil {
-		return err
-	}
-	if err := run("FTL cache vs eviction-aware reads", func(c *cloud.Config) {
-		c.FTL.Cache.Enabled = true
-		c.FTL.Cache.Lines = 1024
-	}, core.HammerOptions{CacheEvictLines: 1024}); err != nil {
-		return err
-	}
-	if err := run("I/O rate limit (100K IOPS/ns)", func(c *cloud.Config) {
-		c.AttackerMaxIOPS = 100_000
-		c.VictimMaxIOPS = 100_000
-	}, core.HammerOptions{}); err != nil {
-		return err
-	}
-	gcfg := guard.DefaultConfig()
-	if err := run("hammer guard (ours: detect+throttle)", func(c *cloud.Config) {
-		c.Guard = &gcfg
-	}, core.HammerOptions{}); err != nil {
+		return r, nil
+	})
+	if err != nil {
 		return err
 	}
 

@@ -5,7 +5,35 @@ import (
 	"io"
 
 	"ftlhammer/internal/core"
+	"ftlhammer/internal/sim"
 )
+
+// mcShardTrials is the fixed Monte Carlo shard size. Shard boundaries and
+// per-shard seeds depend only on (trial budget, base seed), never on the
+// worker count, so the §4.3 estimate is bit-identical at any parallelism.
+const mcShardTrials = 50_000
+
+// monteCarloParallel estimates the single-cycle success probability by
+// fanning fixed-size shards across the trial engine and merging the
+// per-shard success counts in shard order.
+func monteCarloParallel(p core.ProbParams, trials int, seed uint64, workers int) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	shards := (trials + mcShardTrials - 1) / mcShardTrials
+	counts, _ := runTrials(workers, shards, func(i int) (int, error) {
+		n := mcShardTrials
+		if rem := trials - i*mcShardTrials; rem < n {
+			n = rem
+		}
+		return p.MonteCarloShard(n, sim.SplitSeed(seed, uint64(i))), nil
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(trials)
+}
 
 // Probability43 reproduces the §4.3 analysis: the closed-form success
 // probability of one attack cycle under the paper's illustration
@@ -13,15 +41,15 @@ import (
 // validated by Monte Carlo simulation, plus the cumulative probability
 // over repeated cycles ("repeating the attack cycle for 10 times brings
 // the chances of success to more than 50%").
-func Probability43(w io.Writer, quick bool) error {
+func Probability43(w io.Writer, opt Options) error {
 	section(w, "§4.3", "probability of a useful bitflip")
 	p := core.PaperScenario()
 	trials := 2_000_000
-	if quick {
+	if opt.Quick {
 		trials = 300_000
 	}
 	analytic := p.SingleCycle()
-	mc := p.MonteCarlo(trials, 0x43)
+	mc := monteCarloParallel(p, trials, 0x43, opt.WorkerCount())
 	fmt.Fprintf(w, "parameters: Cv=Ca=PB/2, Fv=Cv/4, Fa=Ca (paper's illustration)\n")
 	fmt.Fprintf(w, "single cycle: analytic=%.4f (paper: 7%%), monte-carlo(%d)=%.4f\n", analytic, trials, mc)
 	fmt.Fprintf(w, "\n%-8s %12s\n", "cycles", "P(success)")

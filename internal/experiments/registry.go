@@ -13,9 +13,11 @@ type Experiment struct {
 	Ref string
 	// Title describes what is reproduced.
 	Title string
-	// Run executes the experiment, writing rows to w. Quick mode trades
-	// population sizes for runtime; shapes are preserved.
-	Run func(w io.Writer, quick bool) error
+	// Run executes the experiment, writing rows to w. Options select
+	// quick mode (population sizes trade for runtime; shapes are
+	// preserved) and the trial-engine worker count (which never affects
+	// output, only wall-clock time).
+	Run func(w io.Writer, opt Options) error
 }
 
 // All returns the registry in paper order.

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftlhammer/internal/stats"
+)
+
+// Options control how an experiment executes.
+type Options struct {
+	// Quick trades population sizes for runtime; result shapes are
+	// preserved.
+	Quick bool
+	// Workers bounds the trial-engine worker pool. Zero or negative
+	// selects runtime.GOMAXPROCS(0). Worker count never changes
+	// experiment output: trials are sharded deterministically (fixed
+	// shard boundaries, SplitSeed-derived per-shard seeds) and merged in
+	// trial order, so Workers=1 and Workers=N are byte-identical.
+	Workers int
+}
+
+// WorkerCount resolves the effective worker-pool size.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTrials fans trials 0..n-1 across a bounded worker pool and returns
+// their results in trial order. Each trial must be self-contained: build
+// its own sim.World (and everything inside it) and never touch shared
+// mutable state — which is what makes the fan-out safe and the merge
+// deterministic.
+//
+// Error semantics match a serial loop: the error of the lowest-numbered
+// failing trial is returned. Once a failure is known, trials with higher
+// indices are skipped (their results would be discarded anyway), while
+// lower-numbered trials still run to completion so the reported error is
+// deterministic across worker counts. Panics in trial functions propagate
+// to the caller.
+func runTrials[T any](workers, n int, fn func(trial int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	firstErr := atomic.Int64{}
+	firstErr.Store(int64(n)) // lowest failing trial index seen so far
+	panics := make(chan any, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case panics <- p:
+					default:
+					}
+					next.Store(int64(n)) // stop handing out trials
+				}
+			}()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if int64(i) > firstErr.Load() {
+					continue // a lower trial already failed
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+	if e := firstErr.Load(); e < int64(n) {
+		return nil, errs[e]
+	}
+	return out, nil
+}
+
+// mergeSamples folds per-trial samples into one, in trial order. Used by
+// experiments that fan measurement trials across the pool and then report
+// aggregate statistics.
+func mergeSamples(parts []*stats.Sample) *stats.Sample {
+	var m stats.Sample
+	for _, p := range parts {
+		m.Merge(p)
+	}
+	return &m
+}

@@ -15,27 +15,33 @@ import (
 // windows. The measured rate should track the reported rate, and the
 // table's headline trend — newer, denser modules flip at lower rates —
 // must hold.
-func Table1(w io.Writer, quick bool) error {
+//
+// Each profile's search is an independent trial (own world, own modules),
+// so the rows fan across the trial engine and print in table order.
+func Table1(w io.Writer, opt Options) error {
 	section(w, "Table 1", "minimal access rate to trigger bitflips")
 	fmt.Fprintf(w, "%-6s %-14s %14s %14s %8s\n",
 		"year", "type", "paper(K acc/s)", "sim(K acc/s)", "ratio")
 
 	profiles := dram.Table1Profiles()
-	if quick {
+	if opt.Quick {
 		profiles = []dram.Profile{profiles[0], profiles[3], profiles[11], profiles[13]}
 	}
-	var prevYearRate float64
-	for _, p := range profiles {
-		measured, err := minimalFlipRate(p)
+	measured, err := runTrials(opt.WorkerCount(), len(profiles), func(i int) (float64, error) {
+		m, err := minimalFlipRate(profiles[i])
 		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", p.Name, err)
+			return 0, fmt.Errorf("experiments: %s: %w", profiles[i].Name, err)
 		}
-		ratio := measured / (float64(p.MinRateKps) * 1000)
-		fmt.Fprintf(w, "%-6d %-14s %14d %14.0f %8.2f\n",
-			p.Year, p.Name, p.MinRateKps, measured/1000, ratio)
-		prevYearRate = measured
+		return m, nil
+	})
+	if err != nil {
+		return err
 	}
-	_ = prevYearRate
+	for i, p := range profiles {
+		ratio := measured[i] / (float64(p.MinRateKps) * 1000)
+		fmt.Fprintf(w, "%-6d %-14s %14d %14.0f %8.2f\n",
+			p.Year, p.Name, p.MinRateKps, measured[i]/1000, ratio)
+	}
 	return nil
 }
 
@@ -51,15 +57,18 @@ func minimalFlipRate(p dram.Profile) (float64, error) {
 	cfg.Profile.WeakCellsPerRow = 4
 	cfg.Profile.ThresholdSigma = 0 // measure HCfirst itself
 
-	// Find a row that flips at a generous rate.
+	// Find a row that flips at a generous rate. The row-address scratch
+	// is reused across probe modules (the mapping is identical).
+	var scratch []uint64
+	var err error
 	victim := -1
 	for row := 11; row < 400; row += 4 {
-		clk := sim.NewClock()
-		m := dram.New(cfg, clk)
-		if err := fillVictimRow(m, row); err != nil {
+		world := sim.NewWorld(cfg.Seed)
+		m := dram.New(cfg, world)
+		if scratch, err = fillVictimRow(m, row, scratch); err != nil {
 			return 0, err
 		}
-		if hammerModule(m, clk, row, 32e6, 128*sim.Millisecond) {
+		if hammerModule(m, world.Clock, row, 32e6, 128*sim.Millisecond) {
 			victim = row
 			break
 		}
@@ -71,12 +80,12 @@ func minimalFlipRate(p dram.Profile) (float64, error) {
 	lo, hi := 50e3, 32e6 // K access/s bounds well outside Table 1's range
 	for i := 0; i < 18 && hi/lo > 1.02; i++ {
 		mid := (lo + hi) / 2
-		clk := sim.NewClock()
-		m := dram.New(cfg, clk)
-		if err := fillVictimRow(m, victim); err != nil {
+		world := sim.NewWorld(cfg.Seed)
+		m := dram.New(cfg, world)
+		if scratch, err = fillVictimRow(m, victim, scratch); err != nil {
 			return 0, err
 		}
-		if hammerModule(m, clk, victim, mid, 128*sim.Millisecond) {
+		if hammerModule(m, world.Clock, victim, mid, 128*sim.Millisecond) {
 			hi = mid
 		} else {
 			lo = mid

@@ -23,6 +23,7 @@ import (
 
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/nand"
+	"ftlhammer/internal/sim"
 )
 
 // LBA is a logical block address in 4 KiB units.
@@ -106,11 +107,13 @@ type Stats struct {
 	StaleInvalidates uint64
 }
 
-// FTL is the translation layer. It is not safe for concurrent use.
+// FTL is the translation layer. It is not safe for concurrent use; it
+// inherits the simulation World of the DRAM module it is built over.
 type FTL struct {
 	cfg   Config
 	dram  *dram.Module
 	flash *nand.Array
+	world *sim.World
 
 	totalPages uint64
 	// reverse maps every physical page to the LBA stored there (or
@@ -159,6 +162,7 @@ func New(cfg Config, mem *dram.Module, flash *nand.Array) (*FTL, error) {
 		cfg:        cfg,
 		dram:       mem,
 		flash:      flash,
+		world:      mem.World(),
 		totalPages: geo.TotalPages(),
 		reverse:    make([]LBA, geo.TotalPages()),
 		valid:      make([]bool, geo.TotalPages()),
@@ -223,6 +227,9 @@ func (f *FTL) initTable() error {
 
 // Config returns the FTL configuration (with defaults applied).
 func (f *FTL) Config() Config { return f.cfg }
+
+// World returns the simulation world (inherited from the DRAM module).
+func (f *FTL) World() *sim.World { return f.world }
 
 // Stats returns a copy of the counters.
 func (f *FTL) Stats() Stats { return f.stats }

@@ -13,12 +13,13 @@ import (
 // testEnv builds a small FTL over tiny flash and small DRAM.
 func testEnv(t *testing.T, mutate func(*Config)) (*FTL, *dram.Module, *nand.Array, *sim.Clock) {
 	t.Helper()
-	clk := sim.NewClock()
+	world := sim.NewWorld(1)
+	clk := world.Clock
 	mem := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile:  dram.InvulnerableProfile(),
 		Seed:     1,
-	}, clk)
+	}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	cfg := Config{
 		NumLBAs: flash.Geometry().TotalPages() * 3 / 4, // 25% OP
@@ -174,8 +175,8 @@ func TestGCReclaimsSpace(t *testing.T) {
 func TestDeviceFullWhenAllLive(t *testing.T) {
 	// Export the maximum logical capacity and overwrite it repeatedly:
 	// GC must keep reclaiming the dead copies.
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	maxLBAs := flash.Geometry().TotalPages() * 15 / 16
 	g, err := New(Config{NumLBAs: maxLBAs}, mem, flash)
@@ -199,8 +200,8 @@ func TestDeviceFullWhenAllLive(t *testing.T) {
 
 func TestTableBytesMatchesPaperRatio(t *testing.T) {
 	// 1 GiB of capacity -> ~1 MiB of linear L2P table (§4.1, [6]).
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.DefaultGeometry(), nand.DefaultLatency())
 	numLBAs := uint64(245760) // 15/16 of 256 Ki pages
 	f, err := New(Config{NumLBAs: numLBAs}, mem, flash)
@@ -254,8 +255,8 @@ func TestReadsTouchL2PRows(t *testing.T) {
 
 func TestHammerAmplification(t *testing.T) {
 	countActivations := func(hammers int) uint64 {
-		clk := sim.NewClock()
-		mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+		world := sim.NewWorld(1)
+		mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 		f, err := New(Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4, HammersPerIO: hammers}, mem, flash)
 		if err != nil {
@@ -284,8 +285,8 @@ func TestHammerAmplification(t *testing.T) {
 
 func TestL2PCacheAbsorbsAccesses(t *testing.T) {
 	run := func(cached bool) (uint64, *FTL) {
-		clk := sim.NewClock()
-		mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+		world := sim.NewWorld(1)
+		mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 		f, err := New(Config{
 			NumLBAs: flash.Geometry().TotalPages() * 3 / 4,
@@ -341,8 +342,8 @@ func TestHashedHidesEntryAddr(t *testing.T) {
 
 func TestHashedKeyChangesLayout(t *testing.T) {
 	mk := func(key uint64) *FTL {
-		clk := sim.NewClock()
-		mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+		world := sim.NewWorld(1)
+		mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 		flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 		f, err := New(Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4, Hashed: true, HashKey: key}, mem, flash)
 		if err != nil {
@@ -433,8 +434,8 @@ func TestL2PRegionCoversTable(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	if _, err := New(Config{NumLBAs: 0}, mem, flash); err == nil {
 		t.Fatal("zero NumLBAs accepted")
@@ -448,8 +449,8 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func BenchmarkReadMapped(b *testing.B) {
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := New(Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
 	if err != nil {
@@ -468,8 +469,8 @@ func BenchmarkReadMapped(b *testing.B) {
 }
 
 func BenchmarkWrite(b *testing.B) {
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := New(Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
 	if err != nil {
@@ -488,8 +489,8 @@ func TestWearRetiresBlocksButDeviceSurvives(t *testing.T) {
 	// Failure injection: with a tiny endurance, heavy overwrites retire
 	// blocks; the FTL must route around them until capacity truly runs
 	// out, and data must stay correct meanwhile.
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency(), nand.WithEndurance(40))
 	f, err := New(Config{NumLBAs: flash.Geometry().TotalPages() / 2}, mem, flash)
 	if err != nil {
@@ -521,8 +522,8 @@ func TestWearRetiresBlocksButDeviceSurvives(t *testing.T) {
 }
 
 func TestGCSkipsBadBlocks(t *testing.T) {
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency(), nand.WithEndurance(1))
 	f, err := New(Config{NumLBAs: flash.Geometry().TotalPages() / 2}, mem, flash)
 	if err != nil {

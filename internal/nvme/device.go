@@ -101,11 +101,13 @@ type Config struct {
 	Costs Costs
 }
 
-// Device is the NVMe-like controller. Not safe for concurrent use.
+// Device is the NVMe-like controller. Not safe for concurrent use; one
+// device lives in one simulation World.
 type Device struct {
 	ftl        *ftl.FTL
 	flash      *nand.Array
 	mem        *dram.Module
+	world      *sim.World
 	clk        *sim.Clock
 	costs      Costs
 	pipelining int
@@ -113,8 +115,11 @@ type Device struct {
 	guard      *guard.Guard
 }
 
-// New builds a device over an FTL and its backing parts.
-func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, clk *sim.Clock) *Device {
+// New builds a device over an FTL and its backing parts, inside world w.
+func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, w *sim.World) *Device {
+	if w == nil || w.Clock == nil {
+		panic("nvme: nil world")
+	}
 	costs := cfg.Costs
 	if costs == (Costs{}) {
 		costs = DefaultCosts()
@@ -128,7 +133,8 @@ func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, clk *sim.C
 		ftl:        f,
 		flash:      flash,
 		mem:        mem,
-		clk:        clk,
+		world:      w,
+		clk:        w.Clock,
 		costs:      costs,
 		pipelining: pip,
 	}
@@ -136,6 +142,9 @@ func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, clk *sim.C
 
 // Clock returns the device's virtual clock.
 func (d *Device) Clock() *sim.Clock { return d.clk }
+
+// World returns the simulation world the device runs in.
+func (d *Device) World() *sim.World { return d.world }
 
 // FTL exposes the translation layer (the simulator's white-box view).
 func (d *Device) FTL() *ftl.FTL { return d.ftl }

@@ -13,12 +13,12 @@ import (
 // testDevice builds a small two-namespace device.
 func testDevice(t *testing.T, mutateFTL func(*ftl.Config)) (*Device, *Namespace, *Namespace) {
 	t.Helper()
-	clk := sim.NewClock()
+	world := sim.NewWorld(1)
 	mem := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile:  dram.InvulnerableProfile(),
 		Seed:     1,
-	}, clk)
+	}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	fcfg := ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}
 	if mutateFTL != nil {
@@ -28,7 +28,7 @@ func testDevice(t *testing.T, mutateFTL func(*ftl.Config)) (*Device, *Namespace,
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev := New(Config{}, f, mem, flash, clk)
+	dev := New(Config{}, f, mem, flash, world)
 	half := f.NumLBAs() / 2
 	nsA, err := dev.AddNamespace(half, 0)
 	if err != nil {
@@ -149,14 +149,15 @@ func TestRateLimiterCapsIOPS(t *testing.T) {
 	dev, _, _ := testDevice(t, nil)
 	// Fresh namespace with a 10K IOPS cap is impossible here (namespaces
 	// are allocated); rebuild with a capped namespace.
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	clk := world.Clock
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2 := New(Config{}, f, mem, flash, clk)
+	d2 := New(Config{}, f, mem, flash, world)
 	ns, err := d2.AddNamespace(100, 10_000)
 	if err != nil {
 		t.Fatal(err)
@@ -283,14 +284,15 @@ func TestAchievableDirectTrimmedIOPSMatchesTestbed(t *testing.T) {
 	// The calibration point: direct-path reads of trimmed LBAs at x5
 	// amplification should land near the paper's ~1.4M IOPS operating
 	// point (§4.1: ~7M SPDK-level accesses/s at 5 hammers per I/O).
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	clk := world.Clock
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4, HammersPerIO: 5}, mem, flash)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev := New(Config{}, f, mem, flash, clk)
+	dev := New(Config{}, f, mem, flash, world)
 	ns, err := dev.AddNamespace(100, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -310,14 +312,14 @@ func TestAchievableDirectTrimmedIOPSMatchesTestbed(t *testing.T) {
 }
 
 func BenchmarkDeviceReadTrimmed(b *testing.B) {
-	clk := sim.NewClock()
-	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, clk)
+	world := sim.NewWorld(1)
+	mem := dram.New(dram.Config{Geometry: dram.SmallGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
 	if err != nil {
 		b.Fatal(err)
 	}
-	dev := New(Config{}, f, mem, flash, clk)
+	dev := New(Config{}, f, mem, flash, world)
 	ns, _ := dev.AddNamespace(100, 0)
 	buf := make([]byte, dev.BlockBytes())
 	b.ResetTimer()
@@ -329,18 +331,19 @@ func BenchmarkDeviceReadTrimmed(b *testing.B) {
 }
 
 func TestGuardIntegration(t *testing.T) {
-	clk := sim.NewClock()
+	world := sim.NewWorld(1)
+	clk := world.Clock
 	mem := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile:  dram.InvulnerableProfile(),
 		Seed:     1,
-	}, clk)
+	}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev := New(Config{}, f, mem, flash, clk)
+	dev := New(Config{}, f, mem, flash, world)
 	gcfg := guard.DefaultConfig()
 	gcfg.RowThreshold = 2000
 	dev.AttachGuard(guard.New(gcfg))

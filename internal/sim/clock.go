@@ -73,25 +73,34 @@ func Interval(ratePerSec float64) Duration {
 
 // Clock is the virtual clock. The zero value is a clock at time zero,
 // ready for use. Clock is not safe for concurrent use; the simulation is
-// single-threaded by design so results are exactly reproducible.
+// single-threaded by design so results are exactly reproducible. Parallel
+// harnesses give each trial its own clock (see World). Under -race builds
+// an owner-goroutine guard panics on cross-goroutine use; ownership can be
+// transferred deliberately with Handoff.
 type Clock struct {
-	now Time
+	now   Time
+	guard clockGuard
 }
 
 // NewClock returns a clock starting at time zero.
 func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time {
+	c.check()
+	return c.now
+}
 
 // Advance moves the clock forward by d and returns the new time.
 func (c *Clock) Advance(d Duration) Time {
+	c.check()
 	c.now += Time(d)
 	return c.now
 }
 
 // AdvanceTo moves the clock forward to t. Moving backwards panics.
 func (c *Clock) AdvanceTo(t Time) {
+	c.check()
 	if t < c.now {
 		panic(fmt.Sprintf("sim: clock moving backwards: %d -> %d", c.now, t))
 	}

@@ -1,0 +1,16 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the binary was built with the race detector,
+// which also arms the clock's owner-goroutine check.
+const RaceEnabled = false
+
+// clockGuard is empty outside race builds; the owner check compiles away.
+type clockGuard struct{}
+
+// check is a no-op outside race builds (inlined to nothing).
+func (c *Clock) check() {}
+
+// Handoff is a no-op outside race builds; see the race-build variant.
+func (c *Clock) Handoff() {}

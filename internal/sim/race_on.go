@@ -1,0 +1,69 @@
+//go:build race
+
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// RaceEnabled reports whether the binary was built with the race detector,
+// which also arms the clock's owner-goroutine check.
+const RaceEnabled = true
+
+// clockGuard is the race-build owner check embedded in every Clock. The
+// simulation is single-goroutine by design; sharing a clock (and hence a
+// world) across goroutines silently corrupts results. Under -race the guard
+// records the first goroutine to touch the clock and panics with a clear
+// message when a different goroutine touches it later.
+//
+// Fetching a goroutine id requires a (slow) stack capture, so the check is
+// sampled: every touch during the warm-up window, then one in every 4096.
+// Any sustained cross-goroutine use — the only kind that matters for
+// simulation results — is caught within a few thousand operations.
+type clockGuard struct {
+	owner uint64
+	ops   uint64
+}
+
+// check enforces single-goroutine ownership (sampled; race builds only).
+func (c *Clock) check() {
+	c.guard.ops++
+	if c.guard.ops >= 64 && c.guard.ops&0xfff != 0 {
+		return
+	}
+	id := goroutineID()
+	if c.guard.owner == 0 {
+		c.guard.owner = id
+		return
+	}
+	if c.guard.owner != id {
+		panic(fmt.Sprintf(
+			"sim: clock touched by goroutine %d but owned by goroutine %d; "+
+				"a Clock/World is single-goroutine — give each trial its own World "+
+				"(World.Split) or transfer ownership explicitly with Handoff",
+			id, c.guard.owner))
+	}
+}
+
+// Handoff releases clock ownership so another goroutine may take over.
+// Intended for deliberate transfers (e.g. a harness that builds a world and
+// hands it to a worker); the next toucher becomes the owner.
+func (c *Clock) Handoff() { c.guard.owner = 0 }
+
+// goroutineID parses the current goroutine's id from a stack header
+// ("goroutine 123 [running]:"). Slow, race-build only, sampled.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseUint(string(s[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return ^uint64(0) // unparseable; treat as a distinct owner
+}

@@ -22,6 +22,18 @@ func (s *Sample) Add(x float64) {
 	s.sorted = false
 }
 
+// Merge appends every observation of o into s, in o's insertion order.
+// Merging per-shard samples shard-by-shard therefore yields the same
+// sample a serial run would have accumulated — the property the parallel
+// trial engine relies on.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 

@@ -12,18 +12,19 @@ import (
 
 func testDevice(t *testing.T) (*nvme.Device, *nvme.Namespace, *sim.Clock) {
 	t.Helper()
-	clk := sim.NewClock()
+	world := sim.NewWorld(1)
+	clk := world.Clock
 	mem := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile:  dram.InvulnerableProfile(),
 		Seed:     1,
-	}, clk)
+	}, world)
 	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev := nvme.New(nvme.Config{}, f, mem, flash, clk)
+	dev := nvme.New(nvme.Config{}, f, mem, flash, world)
 	ns, err := dev.AddNamespace(256, 0)
 	if err != nil {
 		t.Fatal(err)
