@@ -6,6 +6,7 @@
 //	ftlhammer -profile testbed -cycles 20 -spray 3072 -amplify 5
 //	ftlhammer -profile weak -mitigation ecc
 //	ftlhammer -profile weak -mitigation trr -sync-decoys
+//	ftlhammer -profile weak -metrics table -trace run.jsonl
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 	"ftlhammer/internal/stats"
 )
@@ -35,8 +37,21 @@ func main() {
 		hunt       = flag.String("hunt", "victim-data-block-", "content marker to hunt for")
 		seed       = flag.Uint64("seed", 0xBEEF, "simulation seed")
 		verbose    = flag.Bool("v", false, "print device statistics")
+		metrics    = flag.String("metrics", "", "end-of-run metric dump: 'table' or 'json'")
+		trace      = flag.String("trace", "", "write the event trace to this JSONL file")
 	)
 	flag.Parse()
+	if *metrics != "" && *metrics != "table" && *metrics != "json" {
+		fatal(fmt.Errorf("-metrics must be 'table' or 'json', got %q", *metrics))
+	}
+	var reg *obs.Registry
+	if *metrics != "" || *trace != "" {
+		if *trace != "" {
+			reg = obs.NewTracing(1 << 16)
+		} else {
+			reg = obs.NewRegistry()
+		}
+	}
 
 	cfg := cloud.Config{
 		DRAM: dram.Config{
@@ -57,6 +72,7 @@ func main() {
 		},
 		VictimFillBlocks: 6144,
 		Seed:             *seed,
+		Obs:              reg,
 	}
 	switch *profile {
 	case "testbed":
@@ -169,6 +185,36 @@ func main() {
 		ns := tb.Flash.Stats()
 		fmt.Printf("NAND: reads=%d programs=%d erases=%d wearMax=%d\n",
 			ns.Reads, ns.Programs, ns.Erases, ns.WearMax)
+	}
+	if reg != nil {
+		reg.Flush()
+		snap := reg.Snapshot(true)
+		switch *metrics {
+		case "table":
+			fmt.Println()
+			if err := snap.WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "json":
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteEventsJSONL(f, reg.Events()); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			total, dropped := reg.TraceTotals()
+			fmt.Printf("trace: %d events written to %s (%d dropped from ring)\n",
+				total-dropped, *trace, dropped)
+		}
 	}
 }
 

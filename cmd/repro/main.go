@@ -7,22 +7,37 @@
 //	repro -all                  # run everything (paper order)
 //	repro -all -full            # full-scale populations (slower)
 //	repro -all -parallel 1      # serial trial engine (output is identical)
+//	repro -all -metrics table   # per-experiment metric dump (or: json)
+//	repro -exp figure3 -trace out.jsonl   # event trace to JSONL
+//	repro -all -listen :6060    # live /metrics + pprof during the run
 //
 // Each experiment prints the paper's reported values next to the
 // simulation's measured values so shapes can be compared directly.
 // Independent trials fan across -parallel workers; the worker count only
-// changes wall-clock time, never output.
+// changes wall-clock time, never output — including -metrics dumps, which
+// exclude wall-clock (volatile) series and are merged in trial order.
+//
+// -listen serves the cumulative run registry for the duration of the run:
+// Prometheus text at /metrics, JSON at /metrics.json, the trace ring at
+// /trace.jsonl, and net/http/pprof under /debug/pprof/. The server stops
+// when the run finishes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"ftlhammer/internal/experiments"
+	"ftlhammer/internal/obs"
 )
+
+// traceCap bounds each experiment's (and the cumulative) event ring.
+const traceCap = 1 << 16
 
 func main() {
 	var (
@@ -32,12 +47,55 @@ func main() {
 		full     = flag.Bool("full", false, "full-scale populations instead of quick mode")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"trial-engine workers; output is identical at any value")
+		metrics = flag.String("metrics", "",
+			"dump per-experiment metrics: 'table' (human) or 'json'")
+		trace = flag.String("trace", "",
+			"append the event trace to this JSONL file")
+		listen = flag.String("listen", "",
+			"serve live /metrics, /metrics.json, /trace.jsonl and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	if *metrics != "" && *metrics != "table" && *metrics != "json" {
+		fatal(fmt.Errorf("-metrics must be 'table' or 'json', got %q", *metrics))
+	}
 
 	opt := experiments.Options{Quick: true, Workers: *parallel}
 	if *full {
 		opt.Quick = false
+	}
+
+	r := &runner{
+		opt:     opt,
+		metrics: *metrics,
+		trace:   *trace,
+	}
+	observing := *metrics != "" || *trace != "" || *listen != ""
+	if observing {
+		if *trace != "" {
+			r.root = obs.NewTracing(traceCap)
+		} else {
+			r.root = obs.NewRegistry()
+		}
+	}
+	if *listen != "" {
+		// obs.Handler routes /metrics*, /trace.jsonl; the pprof import
+		// registered /debug/pprof/ on http.DefaultServeMux.
+		http.Handle("/", obs.Handler(r.root))
+		go func() {
+			if err := http.ListenAndServe(*listen, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: listen:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "repro: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *listen)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r.traceFile = f
 	}
 
 	switch {
@@ -51,10 +109,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runOne(e, opt)
+		r.runOne(e)
 	case *all:
 		for _, e := range experiments.All() {
-			runOne(e, opt)
+			r.runOne(e)
 		}
 	default:
 		flag.Usage()
@@ -62,12 +120,67 @@ func main() {
 	}
 }
 
-func runOne(e experiments.Experiment, opt experiments.Options) {
+// runner executes experiments, optionally collecting observability output.
+type runner struct {
+	opt experiments.Options
+	// root accumulates every experiment's registry for -listen; nil when
+	// no observability flag is set.
+	root      *obs.Registry
+	metrics   string
+	trace     string
+	traceFile *os.File
+}
+
+func (r *runner) runOne(e experiments.Experiment) {
+	opt := r.opt
+	// Each experiment gets a fresh registry so its dump covers exactly
+	// its own trials; the cumulative root (served by -listen) receives a
+	// merge afterwards.
+	var reg *obs.Registry
+	if r.root != nil {
+		if r.root.Tracing() {
+			reg = obs.NewTracing(traceCap)
+		} else {
+			reg = obs.NewRegistry()
+		}
+		opt.Obs = reg
+	}
 	start := time.Now()
 	if err := e.Run(os.Stdout, opt); err != nil {
 		fatal(fmt.Errorf("%s (%s): %w", e.ID, e.Ref, err))
 	}
 	fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	if reg == nil {
+		return
+	}
+	// Project main-goroutine worlds' stats (trial registries were flushed
+	// on their workers already; Flush is idempotent for them).
+	reg.Flush()
+	// Deterministic snapshot: volatile (wall-clock) series excluded, so
+	// this block is byte-identical at any -parallel value.
+	snap := reg.Snapshot(false)
+	switch r.metrics {
+	case "table":
+		fmt.Printf("--- metrics: %s ---\n", e.ID)
+		if err := snap.WriteTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "json":
+		fmt.Printf("--- metrics: %s ---\n", e.ID)
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if r.traceFile != nil {
+		if err := obs.WriteEventsJSONL(r.traceFile, reg.Events()); err != nil {
+			fatal(err)
+		}
+		if total, dropped := reg.TraceTotals(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "repro: %s: trace ring kept %d of %d events (oldest dropped)\n",
+				e.ID, total-dropped, total)
+		}
+	}
+	r.root.Merge(reg)
 }
 
 func fatal(err error) {

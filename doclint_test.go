@@ -1,0 +1,49 @@
+package ftlhammer
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment is the doc-lint gate: every package under
+// internal/ and cmd/ must carry a package-level doc comment (godoc
+// convention: a comment block immediately above a `package` clause in one
+// of its files, conventionally doc.go). CI runs this via `go test`; a new
+// package without documentation fails the build.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(root, e.Name())
+			pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", dir, err)
+			}
+			for name, pkg := range pkgs {
+				documented := false
+				for _, f := range pkg.Files {
+					if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+						documented = true
+						break
+					}
+				}
+				if !documented {
+					t.Errorf("package %s (%s) has no package doc comment; add a doc.go", name, dir)
+				}
+			}
+		}
+	}
+}

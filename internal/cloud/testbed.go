@@ -23,6 +23,7 @@ import (
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
 	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -70,6 +71,12 @@ type Config struct {
 	// disk is never empty). Attacker spray files therefore allocate
 	// *after* this data, the situation §4.2 assumes.
 	VictimFillBlocks uint64
+	// Obs, when non-nil, becomes the testbed world's metrics registry
+	// and event tracer: every layer (DRAM, FTL, NVMe) registers its
+	// instruments there. The registry inherits the world's
+	// single-goroutine ownership; parallel harnesses give each trial's
+	// testbed its own registry and merge in trial order.
+	Obs *obs.Registry
 	// Seed drives device randomness.
 	Seed uint64
 }
@@ -134,6 +141,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		return nil, fmt.Errorf("cloud: VictimFraction %v out of (0,1)", cfg.VictimFraction)
 	}
 	world := sim.NewWorld(cfg.Seed)
+	world.Obs = cfg.Obs
 	mem := dram.New(cfg.DRAM, world)
 	flash := nand.New(cfg.FlashGeometry, cfg.FlashLatency)
 	fcfg := cfg.FTL

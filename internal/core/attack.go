@@ -1,14 +1,3 @@
-// Package core implements the paper's contribution: FTL rowhammering — an
-// unprivileged attacker that uses an SSD strictly as intended (reads,
-// writes, trims) and still flips bits in the device's internal DRAM,
-// corrupting logical-to-physical translations to leak or hijack other
-// tenants' data.
-//
-// The package provides the §3.1 attack primitives (L2P layout preparation,
-// aggressor-row analysis, double-/single-sided/one-location hammering
-// workloads, TRR-synchronized decoys), the §4.2 exploit pipeline
-// (filesystem spraying, bitflip scanning, content dumping) and the §4.3
-// success-probability model.
 package core
 
 import (

@@ -1,0 +1,32 @@
+// Package dram simulates the SSD's on-board DRAM at bank/row granularity,
+// including the rowhammer disturbance-error fault model the whole
+// reproduction rests on.
+//
+// The model captures exactly the physics the paper's feasibility argument
+// depends on:
+//
+//   - Banks hold an open row (row buffer). Repeated reads to the open row
+//     are row hits and do NOT re-activate it; hammering requires forcing
+//     alternating activations in one bank, which is why the attack reads
+//     two aggressor LBA groups in turn (§3.1).
+//   - Every activation of a row disturbs its physical neighbours. Each row
+//     accumulates a disturbance count that resets when the row is
+//     refreshed (every RefreshWindow, default 64 ms, per §2.2).
+//   - A sparse population of weak cells flips once a row's in-window
+//     disturbance crosses the cell's threshold. Thresholds are calibrated
+//     per DDR generation from the paper's Table 1.
+//   - The memory-controller address mapping XOR-spreads physical addresses
+//     across channels/ranks/banks and remaps row indices non-monotonically
+//     (§4.2), which is what lets aggressor rows in the attacker's partition
+//     sandwich a victim row holding another tenant's L2P entries.
+//
+// Flips are applied to the actual backing bytes, so corrupted data really
+// propagates to whatever the DRAM stores — in this repository, the FTL's
+// logical-to-physical table.
+//
+// When the module's world carries an obs.Registry, the module projects its
+// counters into dram_* metrics at Flush time, keeps a per-bank activation
+// distribution, and emits dram.flip / dram.ecc_uncorrectable trace events
+// as they happen (see docs/METRICS.md). Without a registry the hot path
+// pays only a nil check on those rare events.
+package dram

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ftlhammer/internal/ecc"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -185,6 +186,12 @@ type Module struct {
 	stats  Stats
 	flips  []FlipEvent
 	onFlip func(FlipEvent)
+	// obs is the world's registry (nil = observability disabled; every
+	// use is a nil-safe no-op).
+	obs *obs.Registry
+	// bankActs counts activations per flat bank (BankActivations, and
+	// the per-bank distribution metric).
+	bankActs []uint64
 	// mapCache memoizes the controller address mapping per line.
 	mapCache [1 << mapCacheBits]mapCacheEnt
 	// thrFloor is the minimum possible flip threshold under this profile
@@ -238,7 +245,12 @@ func New(cfg Config, w *sim.World) *Module {
 		m.banks[i] = newBankState()
 	}
 	m.bankBusyUntil = make([]sim.Time, cfg.Geometry.TotalBanks())
+	m.bankActs = make([]uint64, cfg.Geometry.TotalBanks())
 	m.rankActs = make([][4]sim.Time, cfg.Geometry.Channels*cfg.Geometry.DIMMs*cfg.Geometry.Ranks)
+	m.obs = w.Obs
+	if m.obs != nil {
+		m.registerObs(m.obs)
+	}
 	m.thrFloor = cfg.Profile.HCfirst * disturbScale
 	if cfg.Profile.HCfirst > 1<<58 {
 		m.thrFloor = 1 << 62 // match the per-cell threshold clamp
@@ -439,6 +451,7 @@ func (m *Module) touchLine(addr uint64) {
 		bank.openRow = -1
 	}
 	m.stats.Activations++
+	m.bankActs[bankIdx]++
 	m.recordActivation(bankIdx)
 	now := m.clk.Now()
 
@@ -575,6 +588,7 @@ func (m *Module) applyFlip(bankIdx int, aggLoc Location, victimRow int, wc *weak
 		ToOne:    wc.leaksToOne,
 	}
 	m.flips = append(m.flips, ev)
+	m.obs.Emit(uint64(now), EvFlip, int64(bankIdx), int64(victimRow), int64(wc.bit))
 	if m.onFlip != nil {
 		m.onFlip(ev)
 	}
@@ -679,6 +693,7 @@ func (m *Module) eccRead(addr uint64, buf []byte) error {
 			continue
 		case ecc.Uncorrectable:
 			m.stats.ECCUncorrected++
+			m.obs.Emit(uint64(m.clk.Now()), EvECCUncorrectable, int64(addr&^7+uint64(w-first)*8), 0, 0)
 			if firstErr == nil {
 				firstErr = &ECCError{Addr: addr&^7 + uint64(w-first)*8}
 			}

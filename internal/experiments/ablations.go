@@ -7,6 +7,7 @@ import (
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/ftl"
 	"ftlhammer/internal/nand"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -30,19 +31,20 @@ func Ablations(w io.Writer, opt Options) error {
 	if err := ablateSidedness(w, opt); err != nil {
 		return err
 	}
-	if err := ablateHalfDouble(w); err != nil {
+	if err := ablateHalfDouble(w, opt.Obs); err != nil {
 		return err
 	}
 	if err := ablateAmplification(w, opt); err != nil {
 		return err
 	}
-	return ablateL2PLayout(w, opt.Quick)
+	return ablateL2PLayout(w, opt.Quick, opt.Obs)
 }
 
 // ablationModule builds a module with a dense weak-cell population for
-// counting flips under different patterns.
-func ablationModule(policy dram.RowPolicy, blast2 uint64) (*dram.Module, *sim.Clock) {
+// counting flips under different patterns. reg (may be nil) observes it.
+func ablationModule(policy dram.RowPolicy, blast2 uint64, reg *obs.Registry) (*dram.Module, *sim.Clock) {
 	world := sim.NewWorld(0xAB1)
+	world.Obs = reg
 	m := dram.New(dram.Config{
 		Geometry: dram.SmallGeometry(),
 		Profile: dram.Profile{
@@ -113,10 +115,10 @@ func ablateSidedness(w io.Writer, opt Options) error {
 	policies := []dram.RowPolicy{dram.OpenRow, dram.ClosedRow}
 	// Each (pattern, policy) cell is an independent trial on its own
 	// module; fan the 3x2 grid and reassemble in table order.
-	cells, err := runTrials(opt.WorkerCount(), len(pats)*len(policies), func(i int) (uint64, error) {
+	cells, err := runTrialsObs(opt, len(pats)*len(policies), func(i int, reg *obs.Registry) (uint64, error) {
 		p := pats[i/len(policies)]
 		pol := policies[i%len(policies)]
-		m, clk := ablationModule(pol, 0)
+		m, clk := ablationModule(pol, 0, reg)
 		total := uint64(0)
 		// Average over several victim rows to smooth cell placement.
 		for _, v := range []int{101, 201, 301, 401} {
@@ -153,10 +155,10 @@ func ablateSidedness(w io.Writer, opt Options) error {
 	return nil
 }
 
-func ablateHalfDouble(w io.Writer) error {
+func ablateHalfDouble(w io.Writer, reg *obs.Registry) error {
 	fmt.Fprintf(w, "\ndistance-two coupling (half-double, paper ref [42]):\n")
 	for _, blast := range []uint64{0, 8} {
-		m, clk := ablationModule(dram.OpenRow, blast)
+		m, clk := ablationModule(dram.OpenRow, blast, reg)
 		v := 151
 		if err := prepRows(m, v-3, v+3); err != nil {
 			return err
@@ -188,9 +190,10 @@ func ablateAmplification(w io.Writer, opt Options) error {
 		perIO float64
 		flips uint64
 	}
-	rows, err := runTrials(opt.WorkerCount(), len(amps), func(i int) (ampRow, error) {
+	rows, err := runTrialsObs(opt, len(amps), func(i int, reg *obs.Registry) (ampRow, error) {
 		amp := amps[i]
 		world := sim.NewWorld(0xAB2)
+		world.Obs = reg
 		clk := world.Clock
 		mem := dram.New(dram.Config{
 			Geometry: dram.SSDGeometry(),
@@ -238,7 +241,7 @@ func ablateAmplification(w io.Writer, opt Options) error {
 	return nil
 }
 
-func ablateL2PLayout(w io.Writer, quick bool) error {
+func ablateL2PLayout(w io.Writer, quick bool, reg *obs.Registry) error {
 	fmt.Fprintf(w, "\nL2P layout lookup cost (DRAM line accesses per host read):\n")
 	ios := 20000
 	if quick {
@@ -246,6 +249,7 @@ func ablateL2PLayout(w io.Writer, quick bool) error {
 	}
 	for _, hashed := range []bool{false, true} {
 		world := sim.NewWorld(1)
+		world.Obs = reg
 		mem := dram.New(dram.Config{
 			Geometry: dram.SmallGeometry(),
 			Profile:  dram.InvulnerableProfile(),

@@ -10,6 +10,7 @@ import (
 	"ftlhammer/internal/ftl"
 	"ftlhammer/internal/nand"
 	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -26,6 +27,7 @@ func Calibration41(w io.Writer, opt Options) error {
 
 	// L2P size ratio.
 	world := sim.NewWorld(1)
+	world.Obs = opt.Obs
 	mem := dram.New(dram.Config{Geometry: dram.SSDGeometry(), Profile: dram.InvulnerableProfile(), Seed: 1}, world)
 	flash := nand.New(nand.DefaultGeometry(), nand.DefaultLatency())
 	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 15 / 16}, mem, flash)
@@ -38,7 +40,7 @@ func Calibration41(w io.Writer, opt Options) error {
 
 	// Direct-access flip threshold of the testbed profile.
 	profile := dram.TestbedProfile()
-	rate, err := minimalFlipRate(profile)
+	rate, err := minimalFlipRate(profile, opt.Obs)
 	if err != nil {
 		return err
 	}
@@ -48,6 +50,7 @@ func Calibration41(w io.Writer, opt Options) error {
 	// per I/O on the device read path.
 	cfg := paperTestbedConfig(0x41)
 	cfg.VictimFillBlocks = 512
+	cfg.Obs = opt.Obs
 	tb, err := cloud.NewTestbed(cfg)
 	if err != nil {
 		return err
@@ -88,8 +91,8 @@ func Calibration41(w io.Writer, opt Options) error {
 	if opt.Quick && limit > 24 {
 		limit = 24
 	}
-	verdicts, err := runTrials(opt.WorkerCount(), limit, func(i int) (bool, error) {
-		return rowFlips(probe, candidates[i].Triple), nil
+	verdicts, err := runTrialsObs(opt, limit, func(i int, reg *obs.Registry) (bool, error) {
+		return rowFlips(probe, candidates[i].Triple, reg), nil
 	})
 	if err != nil {
 		return err
@@ -110,9 +113,10 @@ func Calibration41(w io.Writer, opt Options) error {
 }
 
 // rowFlips tests one triple's victim row for hammerability on a fresh
-// module with the same fault seed.
-func rowFlips(cfg dram.Config, tr dram.Triple) bool {
+// module with the same fault seed. reg (may be nil) observes the probe.
+func rowFlips(cfg dram.Config, tr dram.Triple, reg *obs.Registry) bool {
 	world := sim.NewWorld(cfg.Seed)
+	world.Obs = reg
 	clk := world.Clock
 	m := dram.New(cfg, world)
 	buf := make([]byte, 64)

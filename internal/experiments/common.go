@@ -1,11 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation. Each experiment prints the same rows/series the paper
-// reports, next to what the simulation measures, so the *shape* of the
-// results (who wins, by what factor, where feasibility crossovers fall)
-// can be compared directly.
-//
-// The same entry points back both the root-level Go benchmarks
-// (bench_test.go) and the cmd/repro binary.
 package experiments
 
 import (

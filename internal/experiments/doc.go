@@ -1,0 +1,15 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports, next to what the simulation measures, so the *shape* of the
+// results (who wins, by what factor, where feasibility crossovers fall)
+// can be compared directly.
+//
+// Independent trials fan across a bounded worker pool (Options.Workers)
+// with fixed shard boundaries and SplitSeed-derived per-shard seeds;
+// results — and, when Options.Obs is set, per-trial metric registries and
+// trace rings — are merged in trial order, so output and deterministic
+// metric snapshots are byte-identical at any worker count.
+//
+// The same entry points back both the root-level Go benchmarks
+// (bench_test.go) and the cmd/repro binary.
+package experiments

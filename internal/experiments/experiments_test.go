@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ftlhammer/internal/dram"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -48,7 +49,7 @@ func TestMinimalFlipRateTracksThreshold(t *testing.T) {
 			HCfirst:         uint64(rateKps) * 64,
 			WeakCellsPerRow: 4,
 		}
-		measured, err := minimalFlipRate(p)
+		measured, err := minimalFlipRate(p, nil)
 		if err != nil {
 			t.Fatalf("rate %dK: %v", rateKps, err)
 		}
@@ -96,9 +97,9 @@ func TestRowFlipsDeterministic(t *testing.T) {
 		Seed:    77,
 	}
 	tr := dram.Triple{Bank: 2, VictimRow: 5, AggRows: [2]int{4, 6}}
-	a := rowFlips(cfg, tr)
+	a := rowFlips(cfg, tr, nil)
 	for i := 0; i < 3; i++ {
-		if rowFlips(cfg, tr) != a {
+		if rowFlips(cfg, tr, nil) != a {
 			t.Fatal("rowFlips not deterministic")
 		}
 	}
@@ -169,6 +170,59 @@ func TestParallelOutputIdentical(t *testing.T) {
 	parallel = runOutput(t, "table1", 8)
 	if serial != parallel {
 		t.Fatalf("table1 output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// runObserved captures one experiment's quick-mode output plus its
+// deterministic metric snapshot and trace, at a given worker count.
+func runObserved(t *testing.T, id string, workers int) (out, metrics, trace string) {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewTracing(1 << 16)
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Options{Quick: true, Workers: workers, Obs: reg}); err != nil {
+		t.Fatalf("%s workers=%d: %v", id, workers, err)
+	}
+	reg.Flush()
+	var mbuf, tbuf bytes.Buffer
+	if err := reg.Snapshot(false).WriteTable(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteEventsJSONL(&tbuf, reg.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), mbuf.String(), tbuf.String()
+}
+
+// TestParallelMetricsIdentical extends the engine's guarantee to the
+// observability layer: with metrics and tracing enabled, experiment
+// output, the deterministic metric snapshot, and the merged trace stream
+// are all byte-identical between workers=1 and workers=8. Per-trial
+// registries are merged in trial order and volatile (wall-clock) series
+// are excluded from the snapshot, which is exactly what makes this hold.
+func TestParallelMetricsIdentical(t *testing.T) {
+	ids := []string{"prob"}
+	if !testing.Short() {
+		ids = append(ids, "table1")
+	}
+	for _, id := range ids {
+		out1, met1, tr1 := runObserved(t, id, 1)
+		out8, met8, tr8 := runObserved(t, id, 8)
+		if out1 != out8 {
+			t.Fatalf("%s: output differs between workers=1 and 8", id)
+		}
+		if met1 != met8 {
+			t.Fatalf("%s: metric snapshot differs between workers=1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", id, met1, met8)
+		}
+		if tr1 != tr8 {
+			t.Fatalf("%s: trace differs between workers=1 and 8", id)
+		}
+		if met1 == "" {
+			t.Fatalf("%s: empty metric snapshot with Obs set", id)
+		}
 	}
 }
 

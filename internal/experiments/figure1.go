@@ -26,6 +26,7 @@ func Figure1(w io.Writer, opt Options) error {
 	// Single-tenant: plain row mapping so same-owner triples exist.
 	cfg.DRAM.Mapping = dram.MapperConfig{XorBank: true}
 	cfg.FTL.HammersPerIO = 1
+	cfg.Obs = opt.Obs
 	tb, err := cloud.NewTestbed(cfg)
 	if err != nil {
 		return err

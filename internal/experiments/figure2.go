@@ -25,6 +25,7 @@ func Figure2(w io.Writer, opt Options) error {
 	if opt.Quick {
 		cfg.VictimFillBlocks = 512
 	}
+	cfg.Obs = opt.Obs
 	tb, err := cloud.NewTestbed(cfg)
 	if err != nil {
 		return err

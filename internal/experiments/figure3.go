@@ -24,6 +24,7 @@ func Figure3(w io.Writer, opt Options) error {
 		cfg = paperTestbedConfig(0xF3)
 		maxCycles = 24
 	}
+	cfg.Obs = opt.Obs
 	tb, err := cloud.NewTestbed(cfg)
 	if err != nil {
 		return err
@@ -70,6 +71,7 @@ func Escalation(w io.Writer, opt Options) error {
 	if !opt.Quick {
 		cfg = paperTestbedConfig(0x35)
 	}
+	cfg.Obs = opt.Obs
 	tb, err := cloud.NewTestbed(cfg)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -76,9 +77,9 @@ func mitigationProbes() []mitigationProbe {
 func Mitigations5(w io.Writer, opt Options) error {
 	section(w, "§5", "mitigations")
 	probes := mitigationProbes()
-	rows, err := runTrials(opt.WorkerCount(), len(probes), func(i int) (mitigationResult, error) {
+	rows, err := runTrialsObs(opt, len(probes), func(i int, reg *obs.Registry) (mitigationResult, error) {
 		p := probes[i]
-		r, err := probeMitigation(p.name, p.mutate, p.hopts, opt.Quick)
+		r, err := probeMitigation(p.name, p.mutate, p.hopts, opt.Quick, reg)
 		if err != nil {
 			return mitigationResult{}, fmt.Errorf("experiments: mitigation %q: %w", p.name, err)
 		}
@@ -98,6 +99,7 @@ func Mitigations5(w io.Writer, opt Options) error {
 	hashedCfg := quickTestbedConfig(0x55)
 	hashedCfg.FTL.Hashed = true
 	hashedCfg.FTL.HashKey = 0xC0FFEE
+	hashedCfg.Obs = opt.Obs
 	tb, err := cloud.NewTestbed(hashedCfg)
 	if err != nil {
 		return err
@@ -111,6 +113,7 @@ func Mitigations5(w io.Writer, opt Options) error {
 
 	fiCfg := quickTestbedConfig(0x56)
 	fiCfg.ForbidIndirect = true
+	fiCfg.Obs = opt.Obs
 	tb2, err := cloud.NewTestbed(fiCfg)
 	if err != nil {
 		return err
@@ -127,7 +130,8 @@ func Mitigations5(w io.Writer, opt Options) error {
 }
 
 // probeMitigation runs the standardized probe under one configuration.
-func probeMitigation(name string, mutate func(*cloud.Config), hopts core.HammerOptions, quick bool) (mitigationResult, error) {
+// reg (may be nil) observes the probe's testbed.
+func probeMitigation(name string, mutate func(*cloud.Config), hopts core.HammerOptions, quick bool, reg *obs.Registry) (mitigationResult, error) {
 	cfg := quickTestbedConfig(0x50)
 	cfg.FTL.HammersPerIO = 1
 	// Single-tenant mapping so the probe can observe its own victim rows.
@@ -135,6 +139,7 @@ func probeMitigation(name string, mutate func(*cloud.Config), hopts core.HammerO
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	cfg.Obs = reg
 	tb, err := cloud.NewTestbed(cfg)
 	if err != nil {
 		return mitigationResult{}, err

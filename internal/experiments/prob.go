@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"ftlhammer/internal/core"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -16,17 +17,20 @@ const mcShardTrials = 50_000
 // monteCarloParallel estimates the single-cycle success probability by
 // fanning fixed-size shards across the trial engine and merging the
 // per-shard success counts in shard order.
-func monteCarloParallel(p core.ProbParams, trials int, seed uint64, workers int) float64 {
+func monteCarloParallel(p core.ProbParams, trials int, seed uint64, opt Options) float64 {
 	if trials <= 0 {
 		return 0
 	}
 	shards := (trials + mcShardTrials - 1) / mcShardTrials
-	counts, _ := runTrials(workers, shards, func(i int) (int, error) {
+	counts, _ := runTrialsObs(opt, shards, func(i int, reg *obs.Registry) (int, error) {
 		n := mcShardTrials
 		if rem := trials - i*mcShardTrials; rem < n {
 			n = rem
 		}
-		return p.MonteCarloShard(n, sim.SplitSeed(seed, uint64(i))), nil
+		hits := p.MonteCarloShard(n, sim.SplitSeed(seed, uint64(i)))
+		reg.CounterAdd("prob_mc_trials_total", uint64(n))
+		reg.CounterAdd("prob_mc_successes_total", uint64(hits))
+		return hits, nil
 	})
 	total := 0
 	for _, c := range counts {
@@ -49,7 +53,7 @@ func Probability43(w io.Writer, opt Options) error {
 		trials = 300_000
 	}
 	analytic := p.SingleCycle()
-	mc := monteCarloParallel(p, trials, 0x43, opt.WorkerCount())
+	mc := monteCarloParallel(p, trials, 0x43, opt)
 	fmt.Fprintf(w, "parameters: Cv=Ca=PB/2, Fv=Cv/4, Fa=Ca (paper's illustration)\n")
 	fmt.Fprintf(w, "single cycle: analytic=%.4f (paper: 7%%), monte-carlo(%d)=%.4f\n", analytic, trials, mc)
 	fmt.Fprintf(w, "\n%-8s %12s\n", "cycles", "P(success)")

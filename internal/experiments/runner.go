@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/stats"
 )
 
@@ -19,6 +21,14 @@ type Options struct {
 	// shard boundaries, SplitSeed-derived per-shard seeds) and merged in
 	// trial order, so Workers=1 and Workers=N are byte-identical.
 	Workers int
+	// Obs, when non-nil, is the run's root metrics registry and tracer.
+	// Worlds built on the calling goroutine attach it directly; trials
+	// fanned across the worker pool each get their own per-shard
+	// registry (runTrialsObs), flushed on the owning worker and merged
+	// into Obs in trial order — so metric snapshots, like experiment
+	// output, are byte-identical at any Workers value. Nil disables
+	// observability at ~zero hot-path cost.
+	Obs *obs.Registry
 }
 
 // WorkerCount resolves the effective worker-pool size.
@@ -111,6 +121,63 @@ func runTrials[T any](workers, n int, fn func(trial int) (T, error)) ([]T, error
 	}
 	if e := firstErr.Load(); e < int64(n) {
 		return nil, errs[e]
+	}
+	return out, nil
+}
+
+// EvTrial marks a trial boundary in a merged trace stream: trial index.
+// Each trial world's virtual clock restarts at zero, so readers use these
+// markers to segment the merged timeline.
+const EvTrial = "runner.trial"
+
+// shardTraceCap bounds each trial's event ring. The root registry's own
+// (larger) ring bounds the merged stream.
+const shardTraceCap = 4096
+
+func init() {
+	obs.RegisterEventKind(EvTrial, "trial", "", "")
+}
+
+// runTrialsObs is runTrials with per-trial observability: when opt.Obs is
+// set, every trial receives its own registry (with a tracer iff the root
+// has one), which is flushed on the owning worker goroutine and merged
+// into opt.Obs in trial order after the fan-out completes — the same
+// fixed-shard, ordered-merge discipline that keeps experiment output
+// byte-identical at any worker count. Trial functions must attach the
+// registry to the world(s) they build (world.Obs, cloud.Config.Obs).
+//
+// On error no merge happens: which higher-numbered trials ran depends on
+// scheduling, and the run is aborting anyway.
+func runTrialsObs[T any](opt Options, n int, fn func(trial int, reg *obs.Registry) (T, error)) ([]T, error) {
+	root := opt.Obs
+	if root == nil {
+		return runTrials(opt.WorkerCount(), n, func(i int) (T, error) { return fn(i, nil) })
+	}
+	regs := make([]*obs.Registry, n)
+	tracing := root.Tracing()
+	out, err := runTrials(opt.WorkerCount(), n, func(i int) (T, error) {
+		reg := obs.NewRegistry()
+		if tracing {
+			reg = obs.NewTracing(shardTraceCap)
+		}
+		regs[i] = reg
+		reg.Emit(0, EvTrial, int64(i), 0, 0)
+		start := time.Now()
+		v, err := fn(i, reg)
+		reg.VolatileHistogram("runner_trial_wallclock_seconds", obs.SecondsBuckets).
+			Observe(time.Since(start).Seconds())
+		reg.Counter("runner_trials_total").Inc()
+		if err != nil {
+			reg.Counter("runner_trials_failed_total").Inc()
+		}
+		reg.Flush()
+		return v, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, reg := range regs {
+		root.Merge(reg)
 	}
 	return out, nil
 }

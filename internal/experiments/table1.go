@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"ftlhammer/internal/dram"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -27,8 +28,8 @@ func Table1(w io.Writer, opt Options) error {
 	if opt.Quick {
 		profiles = []dram.Profile{profiles[0], profiles[3], profiles[11], profiles[13]}
 	}
-	measured, err := runTrials(opt.WorkerCount(), len(profiles), func(i int) (float64, error) {
-		m, err := minimalFlipRate(profiles[i])
+	measured, err := runTrialsObs(opt, len(profiles), func(i int, reg *obs.Registry) (float64, error) {
+		m, err := minimalFlipRate(profiles[i], reg)
 		if err != nil {
 			return 0, fmt.Errorf("experiments: %s: %w", profiles[i].Name, err)
 		}
@@ -46,7 +47,8 @@ func Table1(w io.Writer, opt Options) error {
 }
 
 // minimalFlipRate binary-searches the flip threshold rate for a profile.
-func minimalFlipRate(p dram.Profile) (float64, error) {
+// reg (may be nil) observes every probe module the search builds.
+func minimalFlipRate(p dram.Profile, reg *obs.Registry) (float64, error) {
 	// Boost density so a weak row is easy to find; thresholds are what
 	// is being measured, not cell frequency.
 	cfg := dram.Config{
@@ -64,6 +66,7 @@ func minimalFlipRate(p dram.Profile) (float64, error) {
 	victim := -1
 	for row := 11; row < 400; row += 4 {
 		world := sim.NewWorld(cfg.Seed)
+		world.Obs = reg
 		m := dram.New(cfg, world)
 		if scratch, err = fillVictimRow(m, row, scratch); err != nil {
 			return 0, err
@@ -81,6 +84,7 @@ func minimalFlipRate(p dram.Profile) (float64, error) {
 	for i := 0; i < 18 && hi/lo > 1.02; i++ {
 		mid := (lo + hi) / 2
 		world := sim.NewWorld(cfg.Seed)
+		world.Obs = reg
 		m := dram.New(cfg, world)
 		if scratch, err = fillVictimRow(m, victim, scratch); err != nil {
 			return 0, err

@@ -6,6 +6,7 @@ import (
 
 	"ftlhammer/internal/cloud"
 	"ftlhammer/internal/core"
+	"ftlhammer/internal/obs"
 )
 
 // TimeToLeak42 reproduces the §4.2 timing observation: the time to flip a
@@ -26,10 +27,11 @@ func TimeToLeak42(w io.Writer, opt Options) error {
 		files int
 		rep   *core.CampaignReport
 	}
-	rows, err := runTrials(opt.WorkerCount(), len(fractions), func(i int) (ttlRow, error) {
+	rows, err := runTrialsObs(opt, len(fractions), func(i int, reg *obs.Registry) (ttlRow, error) {
 		frac := fractions[i]
 		cfg := quickTestbedConfig(0x42)
 		cfg.FTL.HammersPerIO = 1
+		cfg.Obs = reg
 		tb, err := cloud.NewTestbed(cfg)
 		if err != nil {
 			return ttlRow{}, err

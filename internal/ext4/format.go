@@ -1,23 +1,3 @@
-// Package ext4 implements a simplified but real on-disk filesystem with
-// the two ext4 properties the paper's exploit (§4.2) contrasts:
-//
-//   - files may use the legacy direct/indirect block addressing scheme
-//     (12 direct pointers, then single/double/triple indirect blocks).
-//     Indirect blocks are raw arrays of block pointers with NO integrity
-//     protection — users may opt in per file, and a redirected read of an
-//     indirect block is accepted silently;
-//   - files may instead use extent trees whose on-disk nodes carry a
-//     CRC-32C checksum, so a redirected extent block fails loudly.
-//
-// Everything is written through to the underlying block device, which in
-// the attack scenarios is an NVMe namespace over the shared FTL: a
-// rowhammer bitflip in the device's L2P table really changes what the
-// filesystem reads back.
-//
-// The implementation is deliberately compact: one block group, write
-// through, no journal. It still enforces UNIX permissions (the victim's
-// secrets are mode-0600 root files), hierarchical directories, sparse
-// files with holes, and hard-link counts.
 package ext4
 
 import (

@@ -1,0 +1,22 @@
+// Package ftl implements a page-mapped flash translation layer in the
+// style of the SPDK FTL library the paper attacks (§4.1): the
+// logical-to-physical (L2P) table is a linear array of 4-byte entries —
+// 1 MiB of table per 1 GiB of capacity — stored in the device's DRAM and
+// touched on every host I/O. Because the device DRAM is simulated by
+// internal/dram, every lookup performs real row activations, and a
+// rowhammer bitflip in the table really redirects a logical block.
+//
+// Faithful-to-the-paper knobs:
+//
+//   - the FTL CPU cache is OFF by default (§2.3: "the internal DRAM is
+//     not cached"); enabling it is a §5 mitigation;
+//   - HammersPerIO reproduces the testbed's x5 row-activation
+//     amplification (§4.1);
+//   - a hashed, device-key-randomized L2P variant implements the §5
+//     "randomize the FTL-internal structures" mitigation.
+//
+// When the backing world carries an obs.Registry, the FTL projects its
+// counters into ftl_* metrics at Flush time (L2P lookups, cache hit
+// ratio, GC work, corrupt reads) and emits an ftl.gc trace event per
+// collection (see docs/METRICS.md).
+package ftl

@@ -1,19 +1,3 @@
-// Package ftl implements a page-mapped flash translation layer in the
-// style of the SPDK FTL library the paper attacks (§4.1): the
-// logical-to-physical (L2P) table is a linear array of 4-byte entries —
-// 1 MiB of table per 1 GiB of capacity — stored in the device's DRAM and
-// touched on every host I/O. Because the device DRAM is simulated by
-// internal/dram, every lookup performs real row activations, and a
-// rowhammer bitflip in the table really redirects a logical block.
-//
-// Faithful-to-the-paper knobs:
-//
-//   - the FTL CPU cache is OFF by default (§2.3: "the internal DRAM is
-//     not cached"); enabling it is a §5 mitigation;
-//   - HammersPerIO reproduces the testbed's x5 row-activation
-//     amplification (§4.1);
-//   - a hashed, device-key-randomized L2P variant implements the §5
-//     "randomize the FTL-internal structures" mitigation.
 package ftl
 
 import (
@@ -23,6 +7,7 @@ import (
 
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/nand"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -105,6 +90,10 @@ type Stats struct {
 	// StaleInvalidates counts overwrites whose old translation failed
 	// the reverse-map ownership check (evidence of table corruption).
 	StaleInvalidates uint64
+	// L2PLookups counts translation loads (linear and hashed), i.e. how
+	// often the mapping structure in device DRAM was consulted — the
+	// access stream the paper's attack rides on (§4.1).
+	L2PLookups uint64
 }
 
 // FTL is the translation layer. It is not safe for concurrent use; it
@@ -130,6 +119,8 @@ type FTL struct {
 	cache *l2pCache
 	inGC  bool
 	stats Stats
+	// obs is the world's registry (nil disables; all uses are nil-safe).
+	obs *obs.Registry
 }
 
 const invalidLBA = LBA(^uint64(0))
@@ -199,6 +190,10 @@ func New(cfg Config, mem *dram.Module, flash *nand.Array) (*FTL, error) {
 			return nil, fmt.Errorf("ftl: cache lines %d not a power of two", lines)
 		}
 		f.cache = newL2PCache(lines)
+	}
+	f.obs = f.world.Obs
+	if f.obs != nil {
+		f.registerObs(f.obs)
 	}
 	if err := f.initTable(); err != nil {
 		return nil, err
@@ -271,6 +266,7 @@ func (f *FTL) EntryAddr(lba LBA) (uint64, error) {
 // loadEntry reads lba's translation, performing the per-IO DRAM traffic
 // (amplified activations plus firmware scratch touches).
 func (f *FTL) loadEntry(lba LBA) (nand.PPN, error) {
+	f.stats.L2PLookups++
 	if f.cfg.Hashed {
 		return f.hashedLoad(lba)
 	}

@@ -82,6 +82,7 @@ func (f *FTL) collect() error {
 			return ErrDeviceFull
 		}
 		f.stats.GCRuns++
+		movedBefore := f.stats.GCPagesMoved
 		first := geo.FirstPPN(victim)
 		for i := 0; i < geo.PagesPerBlock; i++ {
 			ppn := first + nand.PPN(i)
@@ -102,6 +103,8 @@ func (f *FTL) collect() error {
 		}
 		f.freeBlocks = append(f.freeBlocks, victim)
 		reclaimed = true
+		f.obs.Emit(uint64(f.world.Now()), EvGC,
+			int64(f.stats.GCPagesMoved-movedBefore), int64(victim), int64(len(f.freeBlocks)))
 	}
 	return nil
 }

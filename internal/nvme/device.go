@@ -1,13 +1,3 @@
-// Package nvme models the NVMe-like front end of the emulated SSD: multiple
-// namespaces (the per-VM partitions of §4.1) over one shared FTL, a
-// service-time model that distinguishes the host-filesystem path from
-// direct (SRIOV-style) access, and the per-namespace I/O rate limiting
-// mitigation of §5.
-//
-// The device owns the virtual clock: every command advances it by the
-// command's service time, so request rates and the DRAM's refresh windows
-// stay consistent. Reads of unmapped/trimmed LBAs skip flash and are
-// serviced at interface speed — the fast path the paper's attacker uses.
 package nvme
 
 import (
@@ -18,6 +8,7 @@ import (
 	"ftlhammer/internal/ftl"
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -113,6 +104,11 @@ type Device struct {
 	pipelining int
 	namespaces []*Namespace
 	guard      *guard.Guard
+	// obs is the world's registry (nil disables; all uses are nil-safe).
+	obs *obs.Registry
+	// maxBatch is the largest queue-pair doorbell batch serviced
+	// (nvme_queue_batch_max).
+	maxBatch int
 }
 
 // New builds a device over an FTL and its backing parts, inside world w.
@@ -129,7 +125,7 @@ func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, w *sim.Wor
 		g := flash.Geometry()
 		pip = g.Channels * g.DiesPerChan
 	}
-	return &Device{
+	d := &Device{
 		ftl:        f,
 		flash:      flash,
 		mem:        mem,
@@ -137,7 +133,12 @@ func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, w *sim.Wor
 		clk:        w.Clock,
 		costs:      costs,
 		pipelining: pip,
+		obs:        w.Obs,
 	}
+	if d.obs != nil {
+		d.registerObs(d.obs)
+	}
+	return d
 }
 
 // Clock returns the device's virtual clock.
@@ -224,7 +225,12 @@ func (d *Device) observeGuard(ns *Namespace, global ftl.LBA, activated bool) {
 		// Hashed layout: fall back to line granularity.
 		key = uint64(global) / 16
 	}
+	prev := ns.guardCap
 	ns.guardCap = d.guard.Observe(ns.ID, key, d.clk.Now())
+	if ns.guardCap != prev {
+		d.obs.Emit(uint64(d.clk.Now()), EvGuardThrottle,
+			int64(ns.ID), int64(ns.guardCap), int64(prev))
+	}
 }
 
 // admit applies the namespace rate limiter (static cap and any guard-

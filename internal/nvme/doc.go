@@ -1,0 +1,16 @@
+// Package nvme models the NVMe-like front end of the emulated SSD: multiple
+// namespaces (the per-VM partitions of §4.1) over one shared FTL, a
+// service-time model that distinguishes the host-filesystem path from
+// direct (SRIOV-style) access, and the per-namespace I/O rate limiting
+// mitigation of §5.
+//
+// The device owns the virtual clock: every command advances it by the
+// command's service time, so request rates and the DRAM's refresh windows
+// stay consistent. Reads of unmapped/trimmed LBAs skip flash and are
+// serviced at interface speed — the fast path the paper's attacker uses.
+//
+// When the device's world carries an obs.Registry, per-namespace command
+// counters and IOPS gauges (computed over virtual time) are projected at
+// Flush, and guard throttle transitions emit nvme.guard_throttle trace
+// events (see docs/METRICS.md).
+package nvme

@@ -88,6 +88,9 @@ func (q *QueuePair) Submit(cmd Command) error {
 // under the hood; Ring is the "doorbell".)
 func (q *QueuePair) Ring() int {
 	n := len(q.sq)
+	if n > q.dev.maxBatch {
+		q.dev.maxBatch = n
+	}
 	for _, cmd := range q.sq {
 		c := Completion{Tag: cmd.Tag}
 		switch cmd.Op {

@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// The disabled path — nil handles from a nil registry — must cost a
+// single predictable branch. These benchmarks pin the contract the
+// simulator hot paths rely on.
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("h", ActivationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xFFFF))
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(uint64(i), "k", 1, 2, 3)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	r := NewTracing(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(uint64(i), "k", 1, 2, 3)
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import "net/http"
+
+// Handler serves a registry over HTTP:
+//
+//	/metrics       Prometheus text exposition (includes volatile metrics)
+//	/metrics.json  JSON snapshot
+//	/trace.jsonl   buffered trace events, one JSON object per line
+//
+// The registry may keep receiving Merge calls while the handler serves;
+// Snapshot and Events take the registry lock. Callers typically mount this
+// next to net/http/pprof on one mux (see cmd/repro -listen).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot(true).WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot(true).WriteJSON(w)
+	})
+	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteEventsJSONL(w, r.Events())
+	})
+	return mux
+}

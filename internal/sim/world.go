@@ -1,5 +1,7 @@
 package sim
 
+import "ftlhammer/internal/obs"
+
 // World bundles the deterministic simulation substrate one trial runs in: a
 // virtual clock plus a seed from which all of the trial's random streams
 // derive. Worlds are cheap to create and strictly single-goroutine (like the
@@ -16,7 +18,14 @@ type World struct {
 	// Clock is the world's virtual clock. It is owned by the goroutine
 	// driving the world; see Clock's concurrency notes.
 	Clock *Clock
-	seed  uint64
+	// Obs, when non-nil, is the world's metrics registry and event
+	// tracer: device models built inside this world register their
+	// instruments here. The registry shares the world's single-goroutine
+	// ownership contract. Split does not propagate it — each shard world
+	// gets its own registry (or none), and the trial engine merges shard
+	// registries deterministically in trial order.
+	Obs  *obs.Registry
+	seed uint64
 }
 
 // NewWorld returns a fresh world at time zero with the given root seed.
