@@ -7,6 +7,7 @@
 //	ftlhammer -profile weak -mitigation ecc
 //	ftlhammer -profile weak -mitigation trr -sync-decoys
 //	ftlhammer -profile weak -metrics table -trace run.jsonl
+//	ftlhammer -profile weak -fault-rate 0.01 -v
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"ftlhammer/internal/cloud"
 	"ftlhammer/internal/core"
 	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
+	"ftlhammer/internal/nvme"
 	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 	"ftlhammer/internal/stats"
@@ -39,6 +42,8 @@ func main() {
 		verbose    = flag.Bool("v", false, "print device statistics")
 		metrics    = flag.String("metrics", "", "end-of-run metric dump: 'table' or 'json'")
 		trace      = flag.String("trace", "", "write the event trace to this JSONL file")
+		faultRate  = flag.Float64("fault-rate", 0, "inject device faults at this per-op probability (standard mix, see docs/FAULTS.md)")
+		robust     = flag.Bool("robust", false, "enable the NVMe retry/timeout/degradation policy (implied by -fault-rate)")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "table" && *metrics != "json" {
@@ -121,6 +126,18 @@ func main() {
 		fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
 	}
 
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
+	}
+	if *faultRate > 0 {
+		p := faults.RatePlan(*faultRate)
+		cfg.Faults = &p
+	}
+	robustOn := *robust || *faultRate > 0
+	if robustOn {
+		cfg.Robust = nvme.DefaultRobust()
+	}
+
 	fmt.Printf("building testbed: %s, amplification x%d, mitigation %s\n",
 		cfg.DRAM.Profile.Name, *amplify, *mitigation)
 	tb, err := cloud.NewTestbed(cfg)
@@ -161,6 +178,13 @@ func main() {
 		fmt.Printf("RESULT: victim data LEAKED: %q...\n", excerpt)
 	} else {
 		fmt.Println("RESULT: no leak (attack unsuccessful under this configuration)")
+	}
+	if robustOn {
+		rs := tb.Device.RobustStats()
+		fmt.Printf("robustness: retries=%d timeouts=%d dropped=%d mediaErrs=%d failedCmds=%d readonly(now=%v entries=%d rejects=%d)\n",
+			rs.Retries, rs.Timeouts, rs.DroppedCompletions, rs.MediaErrors,
+			rs.TimedOutCmds+rs.AbortedCmds+rs.MediaFailedCmds,
+			tb.Device.ReadOnly(), rs.ReadOnlyEntries, rs.ReadOnlyRejects)
 	}
 	if g := tb.Device.Guard(); g != nil {
 		fmt.Printf("guard: attacker-ns violations=%d, victim-ns violations=%d\n",

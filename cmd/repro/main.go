@@ -4,6 +4,7 @@
 //
 //	repro -list                 # enumerate experiments
 //	repro -exp table1           # run one experiment
+//	repro -experiment faults    # alias for -exp; the fault-injection sweep
 //	repro -all                  # run everything (paper order)
 //	repro -all -full            # full-scale populations (slower)
 //	repro -all -parallel 1      # serial trial engine (output is identical)
@@ -54,6 +55,7 @@ func main() {
 		listen = flag.String("listen", "",
 			"serve live /metrics, /metrics.json, /trace.jsonl and /debug/pprof on this address during the run")
 	)
+	flag.StringVar(expID, "experiment", "", "alias for -exp")
 	flag.Parse()
 
 	if *metrics != "" && *metrics != "table" && *metrics != "json" {

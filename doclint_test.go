@@ -1,10 +1,13 @@
 package ftlhammer
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -14,6 +17,174 @@ import (
 // convention: a comment block immediately above a `package` clause in one
 // of its files, conventionally doc.go). CI runs this via `go test`; a new
 // package without documentation fails the build.
+// sourcePackages parses every non-test package under internal/ and cmd/.
+func sourcePackages(t *testing.T) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	out := map[string]*ast.Package{}
+	for _, root := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(root, e.Name())
+			pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", dir, err)
+			}
+			for _, pkg := range pkgs {
+				out[dir] = pkg
+			}
+		}
+	}
+	return out
+}
+
+// constStrings collects a package's string-literal constants (name → value).
+func constStrings(pkg *ast.Package) map[string]string {
+	consts := map[string]string{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if v, err := strconv.Unquote(lit.Value); err == nil {
+							consts[name.Name] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// TestDocsTrackCode is the docs-drift gate: every observability event kind
+// registered anywhere in the tree (obs.RegisterEventKind's first argument,
+// resolved through Ev* constants) must be documented in docs/METRICS.md or
+// docs/FAULTS.md, and every exported fault kind must be documented in
+// docs/FAULTS.md. Adding an event or fault kind without documenting it
+// fails CI.
+func TestDocsTrackCode(t *testing.T) {
+	metricsDoc, err := os.ReadFile(filepath.Join("docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultsDoc, err := os.ReadFile(filepath.Join("docs", "FAULTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := string(metricsDoc) + string(faultsDoc)
+
+	eventKinds := map[string]string{} // kind → declaring dir
+	var faultKinds []string
+	for dir, pkg := range sourcePackages(t) {
+		consts := constStrings(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					if fun.Sel.Name != "RegisterEventKind" {
+						return true
+					}
+				case *ast.Ident:
+					if fun.Name != "RegisterEventKind" {
+						return true
+					}
+				default:
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				switch arg := call.Args[0].(type) {
+				case *ast.BasicLit:
+					if arg.Kind == token.STRING {
+						if v, err := strconv.Unquote(arg.Value); err == nil {
+							eventKinds[v] = dir
+						}
+					}
+				case *ast.Ident:
+					if v, ok := consts[arg.Name]; ok {
+						eventKinds[v] = dir
+					} else {
+						t.Errorf("%s: RegisterEventKind(%s, ...): cannot resolve the kind to a string constant", dir, arg.Name)
+					}
+				default:
+					t.Errorf("%s: RegisterEventKind with a non-constant kind argument", dir)
+				}
+				return true
+			})
+		}
+		if dir == filepath.Join("internal", "faults") {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							if strings.HasPrefix(name.Name, "Kind") && ast.IsExported(name.Name) {
+								faultKinds = append(faultKinds, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if len(eventKinds) == 0 {
+		t.Fatal("found no RegisterEventKind calls; the lint is miswired")
+	}
+	var kinds []string
+	for k := range eventKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		if !strings.Contains(docs, k) {
+			t.Errorf("event kind %q (registered in %s) is documented in neither docs/METRICS.md nor docs/FAULTS.md", k, eventKinds[k])
+		}
+	}
+
+	if len(faultKinds) == 0 {
+		t.Fatal("found no exported fault kinds in internal/faults; the lint is miswired")
+	}
+	sort.Strings(faultKinds)
+	for _, k := range faultKinds {
+		if !strings.Contains(string(faultsDoc), k) {
+			t.Errorf("fault kind %s is not documented in docs/FAULTS.md", k)
+		}
+	}
+}
+
 func TestEveryPackageHasDocComment(t *testing.T) {
 	fset := token.NewFileSet()
 	for _, root := range []string{"internal", "cmd"} {

@@ -19,6 +19,7 @@ import (
 
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/ext4"
+	"ftlhammer/internal/faults"
 	"ftlhammer/internal/ftl"
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
@@ -71,6 +72,14 @@ type Config struct {
 	// disk is never empty). Attacker spray files therefore allocate
 	// *after* this data, the situation §4.2 assumes.
 	VictimFillBlocks uint64
+	// Faults, when non-nil, compiles a fault-injection plan into the
+	// testbed world and threads the injector through nand, ftl and nvme.
+	// The plan is disarmed during testbed assembly (mkfs + victim fill)
+	// and armed when NewTestbed returns, so setup stays fault-free.
+	Faults *faults.Plan
+	// Robust configures the NVMe front end's retry/timeout/degradation
+	// policy (zero: the idealized always-succeeds device).
+	Robust nvme.Robust
 	// Obs, when non-nil, becomes the testbed world's metrics registry
 	// and event tracer: every layer (DRAM, FTL, NVMe) registers its
 	// instruments there. The registry inherits the world's
@@ -142,8 +151,12 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	}
 	world := sim.NewWorld(cfg.Seed)
 	world.Obs = cfg.Obs
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.New(*cfg.Faults, world)
+	}
 	mem := dram.New(cfg.DRAM, world)
-	flash := nand.New(cfg.FlashGeometry, cfg.FlashLatency)
+	flash := nand.New(cfg.FlashGeometry, cfg.FlashLatency, nand.WithFaults(inj))
 	fcfg := cfg.FTL
 	if fcfg.NumLBAs == 0 {
 		fcfg.NumLBAs = cfg.FlashGeometry.TotalPages() * 15 / 16
@@ -155,7 +168,8 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	dev := nvme.New(nvme.Config{}, f, mem, flash, world)
+	f.SetFaults(inj)
+	dev := nvme.New(nvme.Config{Robust: cfg.Robust, Faults: inj}, f, mem, flash, world)
 	if cfg.Guard != nil {
 		dev.AttachGuard(guard.New(*cfg.Guard))
 	}
@@ -182,9 +196,14 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		AttackerNS: ans,
 		cfg:        cfg,
 	}
+	// Assembly runs fault-free: injected failures during mkfs or the
+	// victim fill would make "did the testbed even build" depend on the
+	// fault plan instead of on the experiment under it.
+	inj.Disarm()
 	if err := tb.setupVictimFS(); err != nil {
 		return nil, err
 	}
+	inj.Arm()
 	return tb, nil
 }
 

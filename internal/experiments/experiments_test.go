@@ -8,14 +8,16 @@ import (
 	"testing"
 
 	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
+	"ftlhammer/internal/nvme"
 	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("registry has %d experiments, want 10", len(all))
+	if len(all) != 11 {
+		t.Fatalf("registry has %d experiments, want 11", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -28,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		seen[e.ID] = true
 	}
 	// The paper's core artifacts must all be present.
-	for _, id := range []string{"table1", "figure1", "figure2", "figure3", "prob", "mitig"} {
+	for _, id := range []string{"table1", "figure1", "figure2", "figure3", "prob", "mitig", "faults"} {
 		if !seen[id] {
 			t.Fatalf("missing experiment %q", id)
 		}
@@ -222,6 +224,40 @@ func TestParallelMetricsIdentical(t *testing.T) {
 		}
 		if met1 == "" {
 			t.Fatalf("%s: empty metric snapshot with Obs set", id)
+		}
+	}
+}
+
+// TestFaultsParallelObservedIdentical pins the fault-injection layer's
+// determinism contract end to end: the robustness sweep's output, its
+// fault/retry event streams and its metric snapshot are all byte-identical
+// between workers=1 and workers=8. Injection draws from per-rule World
+// streams and backoff jitter from a dedicated device stream, so sharding
+// trials across workers must not move a single event.
+func TestFaultsParallelObservedIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faults sweep is long; CI covers -race via the cmd/repro smoke step")
+	}
+	out1, met1, tr1 := runObserved(t, "faults", 1)
+	out8, met8, tr8 := runObserved(t, "faults", 8)
+	if out1 != out8 {
+		t.Fatalf("faults output differs between workers=1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", out1, out8)
+	}
+	if met1 != met8 {
+		t.Fatalf("faults metric snapshot differs between workers=1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", met1, met8)
+	}
+	if tr1 != tr8 {
+		t.Fatal("faults trace differs between workers=1 and 8")
+	}
+	// The robustness path must actually be visible in the artifacts.
+	for _, ev := range []string{faults.EvInjected, nvme.EvRetry, nvme.EvTimeout} {
+		if !strings.Contains(tr1, ev) {
+			t.Fatalf("trace has no %s events", ev)
+		}
+	}
+	for _, series := range []string{"faults_injected_total", "nvme_retries_total", "nvme_retries_per_command"} {
+		if !strings.Contains(met1, series) {
+			t.Fatalf("metric snapshot missing %s:\n%s", series, met1)
 		}
 	}
 }

@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"prob", "§4.3", "probability of success, analytic + Monte Carlo", Probability43},
 		{"mitig", "§5", "mitigations", Mitigations5},
 		{"ablations", "DESIGN §5", "design-choice ablations (sidedness, half-double, amplification, L2P layout)", Ablations},
+		{"faults", "docs/FAULTS.md", "robustness campaign: goodput and attack success vs injected fault rate", FaultsRobustness},
 	}
 }
 

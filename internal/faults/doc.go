@@ -1,0 +1,24 @@
+// Package faults is the deterministic fault-injection layer: composable,
+// World-seeded plans that make the simulated device fail the way real
+// hardware does — NAND pages that won't read or program, service-latency
+// spikes, NVMe completions that never arrive, and DRAM words that escalate
+// straight to ECC-uncorrectable.
+//
+// A Plan is a list of Rules. Each rule names a fault Kind, how often it
+// fires (a probability drawn from a rule-private RNG stream, or an exact
+// every-Nth/count schedule), and an address Region scoping where it
+// applies. The address space a region ranges over depends on the kind:
+// physical page numbers for NAND kinds, DRAM physical addresses for the
+// ECC kind, global LBAs for the NVMe kinds (see docs/FAULTS.md).
+//
+// Determinism contract: an Injector draws randomness only from streams
+// split off the owning sim.World's seed (one stream per rule, derived from
+// the rule's index), and decisions depend only on the sequence of eligible
+// operations inside that world. Trials in the parallel engine each build
+// their own world, so fault schedules — like everything else — are
+// byte-identical at any worker count.
+//
+// A nil *Injector is valid everywhere and injects nothing; device models
+// call Decide unconditionally and pay one branch when faults are off,
+// mirroring the internal/obs nil-registry convention.
+package faults

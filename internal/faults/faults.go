@@ -1,0 +1,280 @@
+package faults
+
+import (
+	"fmt"
+
+	"ftlhammer/internal/obs"
+	"ftlhammer/internal/sim"
+)
+
+// Kind identifies one class of injected fault. Every kind is interposed at
+// a specific layer of the device stack; docs/FAULTS.md documents each
+// kind's hook point and the address space its Region ranges over.
+type Kind uint8
+
+const (
+	// KindNANDRead is an uncorrectable media failure on a NAND page read
+	// (the flash array returns a status error instead of data). Region
+	// addresses are physical page numbers.
+	KindNANDRead Kind = iota
+	// KindNANDProgram is a NAND program-status failure: the page is
+	// consumed but holds no data, and firmware must write elsewhere.
+	// Region addresses are physical page numbers.
+	KindNANDProgram
+	// KindLatency is a service-latency spike on an NVMe command (SLC
+	// cache flush, read-retry loops, firmware housekeeping). Region
+	// addresses are global LBAs; Rule.Latency sets the spike size.
+	KindLatency
+	// KindDropCompletion models a completion that never reaches the
+	// host: the command is serviced (or not) but its CQE is lost, so the
+	// host must detect the loss by deadline and abort/requeue. Region
+	// addresses are global LBAs.
+	KindDropCompletion
+	// KindECCUncorrectable forces an uncorrectable ECC error on a
+	// controller-DRAM load of an L2P mapping entry (the in-DRAM
+	// metadata corruption central to the paper, injected directly).
+	// Region addresses are DRAM physical byte addresses.
+	KindECCUncorrectable
+
+	numKinds
+)
+
+// String returns the stable label used in metrics and docs.
+func (k Kind) String() string {
+	switch k {
+	case KindNANDRead:
+		return "nand-read"
+	case KindNANDProgram:
+		return "nand-program"
+	case KindLatency:
+		return "latency"
+	case KindDropCompletion:
+		return "drop-completion"
+	case KindECCUncorrectable:
+		return "ecc-uncorrectable"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Region restricts a rule to addresses in [Start, End). The zero value
+// matches every address. What an "address" is depends on the rule's Kind:
+// PPNs for NAND kinds, LBAs for NVMe kinds, DRAM byte addresses for the
+// ECC kind.
+type Region struct {
+	Start, End uint64
+}
+
+func (r Region) contains(addr uint64) bool {
+	return r == Region{} || (addr >= r.Start && addr < r.End)
+}
+
+// Rule is one composable injection: a fault Kind plus a firing schedule
+// and an address scope. Schedules come in two flavours:
+//
+//   - Probability p in (0, 1]: each eligible operation fires with
+//     probability p, drawn from a rule-private RNG stream split off the
+//     world seed.
+//   - Every n > 0: exactly every n-th eligible operation fires
+//     (deterministic count scoping, no randomness consumed).
+//
+// After skips the first After eligible operations before the schedule
+// starts, and Count caps the total number of firings (0 = unlimited).
+// Exactly one of Probability/Every must be set.
+type Rule struct {
+	Kind        Kind
+	Probability float64
+	Every       uint64
+	After       uint64
+	Count       uint64
+	Region      Region
+	// Latency is the extra service time added by KindLatency rules.
+	Latency sim.Duration
+}
+
+// Plan is an ordered list of rules. For one operation, rules of the
+// matching kind are consulted in plan order and the first one that fires
+// wins.
+type Plan struct {
+	Rules []Rule
+}
+
+// With returns a copy of the plan with r appended; plans compose by value.
+func (p Plan) With(r Rule) Plan {
+	rules := make([]Rule, len(p.Rules), len(p.Rules)+1)
+	copy(rules, p.Rules)
+	return Plan{Rules: append(rules, r)}
+}
+
+// RatePlan is the standard demonstration mix used by cmd/ftlhammer and the
+// faults experiment: at per-operation rate p it injects NAND read failures
+// (p), NAND program failures (p/4), 1 ms latency spikes (p/4), and dropped
+// completions (p/10) across the whole device. Rate 0 yields an empty plan.
+func RatePlan(rate float64) Plan {
+	if rate <= 0 {
+		return Plan{}
+	}
+	return Plan{Rules: []Rule{
+		{Kind: KindNANDRead, Probability: rate},
+		{Kind: KindNANDProgram, Probability: rate / 4},
+		{Kind: KindLatency, Probability: rate / 4, Latency: sim.Millisecond},
+		{Kind: KindDropCompletion, Probability: rate / 10},
+	}}
+}
+
+// EvInjected is emitted once per injected fault: A = fault kind, B = the
+// faulted address (PPN/LBA/DRAM address per kind), C = index of the firing
+// rule in the plan.
+const EvInjected = "faults.injected"
+
+func init() {
+	obs.RegisterEventKind(EvInjected, "kind", "addr", "rule")
+}
+
+// streamTag is the base World stream tag for rule RNGs; rule i draws from
+// stream streamTag+i, so schedules are independent of each other and of
+// every other subsystem's randomness.
+const streamTag = 0xfa017500
+
+// rule is a compiled Rule plus its runtime state.
+type rule struct {
+	Rule
+	rng   *sim.RNG
+	seen  uint64 // eligible operations observed while armed
+	fired uint64
+}
+
+// Injector evaluates a compiled Plan inside one simulation world. It is
+// single-goroutine, like the world it belongs to. A nil *Injector is valid
+// and injects nothing.
+type Injector struct {
+	rules    []rule
+	byKind   [numKinds][]int
+	clk      *sim.Clock
+	obs      *obs.Registry
+	armed    bool
+	injected [numKinds]uint64
+}
+
+// New compiles a plan into an injector drawing randomness from w's seed.
+// An empty plan compiles to nil (the universal "faults off" value).
+// Invalid rules — an unknown kind, a probability outside (0, 1], both or
+// neither of Probability/Every set, a backwards region — panic at
+// construction time. The injector starts armed; Disarm/Arm bracket phases
+// (such as testbed assembly) that should run fault-free.
+func New(p Plan, w *sim.World) *Injector {
+	if len(p.Rules) == 0 {
+		return nil
+	}
+	in := &Injector{
+		rules: make([]rule, len(p.Rules)),
+		clk:   w.Clock,
+		obs:   w.Obs,
+		armed: true,
+	}
+	for i, r := range p.Rules {
+		if r.Kind >= numKinds {
+			panic(fmt.Sprintf("faults: rule %d: unknown kind %d", i, r.Kind))
+		}
+		if r.Probability < 0 || r.Probability > 1 {
+			panic(fmt.Sprintf("faults: rule %d: probability %v outside [0, 1]", i, r.Probability))
+		}
+		if (r.Probability > 0) == (r.Every > 0) {
+			panic(fmt.Sprintf("faults: rule %d: exactly one of Probability/Every must be set", i))
+		}
+		if r.Region.End != 0 && r.Region.End <= r.Region.Start {
+			panic(fmt.Sprintf("faults: rule %d: backwards region [%d, %d)", i, r.Region.Start, r.Region.End))
+		}
+		in.rules[i] = rule{Rule: r}
+		if r.Probability > 0 && r.Probability < 1 {
+			in.rules[i].rng = w.Stream(streamTag + uint64(i))
+		}
+		in.byKind[r.Kind] = append(in.byKind[r.Kind], i)
+	}
+	if reg := w.Obs; reg != nil {
+		reg.OnFlush(func() {
+			for k := Kind(0); k < numKinds; k++ {
+				if n := in.injected[k]; n > 0 {
+					reg.Counter(obs.L("faults_injected_total", "kind", k.String())).Add(n)
+				}
+			}
+		})
+	}
+	return in
+}
+
+// Arm enables injection (the constructed state).
+func (in *Injector) Arm() {
+	if in != nil {
+		in.armed = true
+	}
+}
+
+// Disarm suspends injection; eligible operations seen while disarmed do
+// not advance any rule's schedule. Used to keep deterministic setup phases
+// (mkfs, victim fill) fault-free.
+func (in *Injector) Disarm() {
+	if in != nil {
+		in.armed = false
+	}
+}
+
+// Injected returns how many faults of kind k have fired.
+func (in *Injector) Injected(k Kind) uint64 {
+	if in == nil || k >= numKinds {
+		return 0
+	}
+	return in.injected[k]
+}
+
+// InjectedTotal returns the total number of injected faults of all kinds.
+func (in *Injector) InjectedTotal() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for _, n := range in.injected {
+		t += n
+	}
+	return t
+}
+
+// Decide reports whether a fault of the given kind fires for the operation
+// at addr, and, for latency rules, how much extra service time to charge.
+// Device models call it unconditionally on their hot paths; on a nil
+// injector it is a single branch.
+func (in *Injector) Decide(kind Kind, addr uint64) (bool, sim.Duration) {
+	if in == nil || !in.armed {
+		return false, 0
+	}
+	for _, i := range in.byKind[kind] {
+		r := &in.rules[i]
+		if !r.Region.contains(addr) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		hit := false
+		switch {
+		case r.Every > 0:
+			hit = (r.seen-r.After)%r.Every == 0
+		case r.Probability >= 1:
+			hit = true
+		default:
+			hit = r.rng.Float64() < r.Probability
+		}
+		if !hit {
+			continue
+		}
+		r.fired++
+		in.injected[kind]++
+		in.obs.Emit(uint64(in.clk.Now()), EvInjected, int64(kind), int64(addr), int64(i))
+		return true, r.Latency
+	}
+	return false, 0
+}

@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"ftlhammer/internal/obs"
+	"ftlhammer/internal/sim"
+)
+
+func TestEmptyPlanCompilesToNil(t *testing.T) {
+	if in := New(Plan{}, sim.NewWorld(1)); in != nil {
+		t.Fatal("empty plan did not compile to nil")
+	}
+	var in *Injector
+	if hit, lat := in.Decide(KindNANDRead, 0); hit || lat != 0 {
+		t.Fatal("nil injector injected")
+	}
+	if in.Injected(KindNANDRead) != 0 || in.InjectedTotal() != 0 {
+		t.Fatal("nil injector counted")
+	}
+	in.Arm()
+	in.Disarm() // must not panic
+}
+
+func TestEverySchedule(t *testing.T) {
+	in := New(Plan{}.With(Rule{Kind: KindNANDRead, Every: 3}), sim.NewWorld(2))
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if hit, _ := in.Decide(KindNANDRead, uint64(i)); hit {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 5, 8} // every 3rd eligible op
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if in.Injected(KindNANDRead) != 3 || in.InjectedTotal() != 3 {
+		t.Fatalf("injected %d/%d, want 3/3", in.Injected(KindNANDRead), in.InjectedTotal())
+	}
+}
+
+func TestAfterAndCountScoping(t *testing.T) {
+	in := New(Plan{}.With(Rule{Kind: KindLatency, Every: 1, After: 2, Count: 2, Latency: sim.Millisecond}), sim.NewWorld(3))
+	var fired []int
+	for i := 0; i < 8; i++ {
+		hit, lat := in.Decide(KindLatency, uint64(i))
+		if hit {
+			fired = append(fired, i)
+			if lat != sim.Millisecond {
+				t.Fatalf("latency %v, want 1ms", lat)
+			}
+		}
+	}
+	// Skips the first two eligible ops, then fires exactly Count times.
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
+		t.Fatalf("fired at %v, want [2 3]", fired)
+	}
+}
+
+func TestRegionScoping(t *testing.T) {
+	in := New(Plan{}.With(Rule{Kind: KindNANDRead, Every: 1, Region: Region{Start: 10, End: 20}}), sim.NewWorld(4))
+	for _, addr := range []uint64{0, 9, 20, 1000} {
+		if hit, _ := in.Decide(KindNANDRead, addr); hit {
+			t.Fatalf("fired outside region at %d", addr)
+		}
+	}
+	for _, addr := range []uint64{10, 15, 19} {
+		if hit, _ := in.Decide(KindNANDRead, addr); !hit {
+			t.Fatalf("did not fire inside region at %d", addr)
+		}
+	}
+	// Wrong kind never matches, whatever the address.
+	if hit, _ := in.Decide(KindNANDProgram, 15); hit {
+		t.Fatal("fired for a kind the plan does not mention")
+	}
+}
+
+func TestDisarmFreezesSchedules(t *testing.T) {
+	in := New(Plan{}.With(Rule{Kind: KindNANDRead, Every: 2}), sim.NewWorld(5))
+	in.Disarm()
+	for i := 0; i < 100; i++ {
+		if hit, _ := in.Decide(KindNANDRead, uint64(i)); hit {
+			t.Fatal("disarmed injector fired")
+		}
+	}
+	// Disarmed ops must not have advanced the schedule: the second
+	// eligible op after re-arming is still the first firing.
+	in.Arm()
+	if hit, _ := in.Decide(KindNANDRead, 0); hit {
+		t.Fatal("fired on first eligible op of an every-2 rule")
+	}
+	if hit, _ := in.Decide(KindNANDRead, 1); !hit {
+		t.Fatal("did not fire on second eligible op after re-arming")
+	}
+}
+
+func TestProbabilityDraw(t *testing.T) {
+	const n = 20000
+	run := func(seed uint64) (uint64, string) {
+		in := New(Plan{}.With(Rule{Kind: KindNANDRead, Probability: 0.1}), sim.NewWorld(seed))
+		var pat strings.Builder
+		for i := 0; i < n; i++ {
+			if hit, _ := in.Decide(KindNANDRead, uint64(i)); hit {
+				pat.WriteByte('x')
+			} else {
+				pat.WriteByte('.')
+			}
+		}
+		return in.InjectedTotal(), pat.String()
+	}
+	got, pat := run(7)
+	if got < n/10*8/10 || got > n/10*12/10 {
+		t.Fatalf("p=0.1 over %d ops fired %d times, want ~%d", n, got, n/10)
+	}
+	// Determinism: same seed, same firing pattern.
+	if _, pat2 := run(7); pat2 != pat {
+		t.Fatal("same seed produced a different firing pattern")
+	}
+	// Different seeds diverge.
+	if _, pat3 := run(8); pat3 == pat {
+		t.Fatal("different seeds produced the same firing pattern")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	p := Plan{}.
+		With(Rule{Kind: KindLatency, Every: 1, Count: 1, Latency: 2 * sim.Millisecond}).
+		With(Rule{Kind: KindLatency, Every: 1, Latency: 5 * sim.Millisecond})
+	in := New(p, sim.NewWorld(6))
+	if _, lat := in.Decide(KindLatency, 0); lat != 2*sim.Millisecond {
+		t.Fatalf("first op latency %v, want rule 0's 2ms", lat)
+	}
+	// Rule 0 is exhausted (Count: 1); rule 1 takes over.
+	if _, lat := in.Decide(KindLatency, 0); lat != 5*sim.Millisecond {
+		t.Fatalf("second op latency %v, want rule 1's 5ms", lat)
+	}
+}
+
+func TestRatePlan(t *testing.T) {
+	if len(RatePlan(0).Rules) != 0 {
+		t.Fatal("rate 0 did not yield an empty plan")
+	}
+	p := RatePlan(0.1)
+	kinds := map[Kind]bool{}
+	for _, r := range p.Rules {
+		kinds[r.Kind] = true
+	}
+	for _, k := range []Kind{KindNANDRead, KindNANDProgram, KindLatency, KindDropCompletion} {
+		if !kinds[k] {
+			t.Fatalf("RatePlan missing kind %v", k)
+		}
+	}
+	if New(p, sim.NewWorld(1)) == nil {
+		t.Fatal("nonzero RatePlan compiled to nil")
+	}
+}
+
+func TestInvalidRulesPanic(t *testing.T) {
+	for name, r := range map[string]Rule{
+		"unknown kind":     {Kind: numKinds, Every: 1},
+		"probability > 1":  {Kind: KindNANDRead, Probability: 1.5},
+		"both schedules":   {Kind: KindNANDRead, Probability: 0.5, Every: 2},
+		"no schedule":      {Kind: KindNANDRead},
+		"backwards region": {Kind: KindNANDRead, Every: 1, Region: Region{Start: 10, End: 5}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: rule accepted", name)
+				}
+			}()
+			New(Plan{}.With(r), sim.NewWorld(1))
+		}()
+	}
+}
+
+func TestInjectionEmitsEventAndMetric(t *testing.T) {
+	w := sim.NewWorld(9)
+	w.Obs = obs.NewTracing(64)
+	in := New(Plan{}.With(Rule{Kind: KindECCUncorrectable, Every: 1}), w)
+	in.Decide(KindECCUncorrectable, 42)
+	evs := w.Obs.Events()
+	if len(evs) != 1 || evs[0].Kind != EvInjected {
+		t.Fatalf("events %v, want one %s", evs, EvInjected)
+	}
+	if evs[0].A != int64(KindECCUncorrectable) || evs[0].B != 42 || evs[0].C != 0 {
+		t.Fatalf("event fields A=%d B=%d C=%d, want kind/addr/rule", evs[0].A, evs[0].B, evs[0].C)
+	}
+	w.Obs.Flush()
+	var buf strings.Builder
+	if err := w.Obs.Snapshot(false).WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "faults_injected_total") {
+		t.Fatalf("metric dump missing faults_injected_total:\n%s", buf.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindNANDRead:         "nand-read",
+		KindNANDProgram:      "nand-program",
+		KindLatency:          "latency",
+		KindDropCompletion:   "drop-completion",
+		KindECCUncorrectable: "ecc-uncorrectable",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

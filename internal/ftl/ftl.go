@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
 	"ftlhammer/internal/nand"
 	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
@@ -118,6 +119,7 @@ type FTL struct {
 
 	cache *l2pCache
 	inGC  bool
+	inj   *faults.Injector
 	stats Stats
 	// obs is the world's registry (nil disables; all uses are nil-safe).
 	obs *obs.Registry
@@ -263,6 +265,13 @@ func (f *FTL) EntryAddr(lba LBA) (uint64, error) {
 	return f.cfg.L2PBase + uint64(lba)*EntryBytes, nil
 }
 
+// SetFaults attaches a fault injector. KindECCUncorrectable rules
+// (region-scoped by DRAM physical address over the linear L2P table) force
+// uncorrectable ECC errors on entry loads, modeling the paper's in-DRAM
+// metadata corruption without waiting for organic bitflips. A nil injector
+// is valid and disables injection.
+func (f *FTL) SetFaults(inj *faults.Injector) { f.inj = inj }
+
 // loadEntry reads lba's translation, performing the per-IO DRAM traffic
 // (amplified activations plus firmware scratch touches).
 func (f *FTL) loadEntry(lba LBA) (nand.PPN, error) {
@@ -277,6 +286,10 @@ func (f *FTL) loadEntry(lba LBA) (nand.PPN, error) {
 			return decodePPN(v), nil
 		}
 		f.stats.CacheMisses++
+	}
+	if hit, _ := f.inj.Decide(faults.KindECCUncorrectable, addr); hit {
+		f.stats.UncorrectedECC++
+		return nand.InvalidPPN, &dram.ECCError{Addr: addr}
 	}
 	var raw [EntryBytes]byte
 	if err := f.dram.Read(addr, raw[:]); err != nil {

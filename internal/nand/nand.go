@@ -14,9 +14,24 @@
 package nand
 
 import (
+	"errors"
 	"fmt"
 
+	"ftlhammer/internal/faults"
 	"ftlhammer/internal/sim"
+)
+
+// Sentinel media errors. The NVMe front end classifies these as transient
+// and retryable (errors.Is through the FTL's %w wrapping); everything else
+// the array returns is a firmware programming error, not a media fault.
+var (
+	// ErrMediaRead is an uncorrectable media failure on a page read:
+	// the die returned a status error instead of data.
+	ErrMediaRead = errors.New("nand: uncorrectable media read failure")
+	// ErrMediaProgram is a program-status failure: the page is consumed
+	// (the block's write pointer advances past it) but holds no data,
+	// and firmware must program the payload elsewhere.
+	ErrMediaProgram = errors.New("nand: program-status failure")
 )
 
 // PPN is a flat physical page number across the whole array.
@@ -136,14 +151,16 @@ func DefaultLatency() Latency {
 
 // Stats aggregates array activity.
 type Stats struct {
-	Reads       uint64
-	Programs    uint64
-	Erases      uint64
-	ReadErased  uint64       // reads of never-programmed pages
-	BusyTime    sim.Duration // total device-time consumed, all channels
-	WearMax     uint32       // highest per-block erase count
-	BadBlocks   int          // blocks retired for wear
-	FailedProgs uint64       // programs rejected (order, state, bad block)
+	Reads          uint64
+	Programs       uint64
+	Erases         uint64
+	ReadErased     uint64       // reads of never-programmed pages
+	BusyTime       sim.Duration // total device-time consumed, all channels
+	WearMax        uint32       // highest per-block erase count
+	BadBlocks      int          // blocks retired for wear
+	FailedProgs    uint64       // programs rejected (order, state, bad block)
+	MediaReadFails uint64       // injected uncorrectable read failures
+	MediaProgFails uint64       // injected program-status failures
 }
 
 // pageState tracks the lifecycle of one page.
@@ -167,6 +184,7 @@ type Array struct {
 	nextPage  []int // per block: next programmable page index
 	eraseCnt  []uint32
 	badBlocks []bool
+	inj       *faults.Injector
 	stats     Stats
 }
 
@@ -177,6 +195,13 @@ type Option func(*Array)
 // tests). Zero disables.
 func WithEndurance(n uint32) Option {
 	return func(a *Array) { a.endurance = n }
+}
+
+// WithFaults attaches a fault injector; KindNANDRead and KindNANDProgram
+// rules (region-scoped by PPN) fire on this array's Read/Program paths.
+// A nil injector is valid and equivalent to omitting the option.
+func WithFaults(inj *faults.Injector) Option {
+	return func(a *Array) { a.inj = inj }
 }
 
 // New builds a flash array. It panics on invalid geometry.
@@ -234,6 +259,10 @@ func (a *Array) Read(ppn PPN, buf []byte) error {
 	}
 	a.stats.Reads++
 	a.stats.BusyTime += a.lat.Read
+	if hit, _ := a.inj.Decide(faults.KindNANDRead, uint64(ppn)); hit {
+		a.stats.MediaReadFails++
+		return fmt.Errorf("nand: read of ppn %d: %w", ppn, ErrMediaRead)
+	}
 	if a.state[ppn] != pageProgrammed {
 		a.stats.ReadErased++
 		for i := range buf {
@@ -241,7 +270,15 @@ func (a *Array) Read(ppn PPN, buf []byte) error {
 		}
 		return nil
 	}
-	copy(buf, a.data[ppn])
+	page, ok := a.data[ppn]
+	if !ok {
+		// Only pages consumed by an injected program-status failure
+		// are programmed-but-dataless; reading one back is itself an
+		// uncorrectable media read.
+		a.stats.MediaReadFails++
+		return fmt.Errorf("nand: read of failed-program ppn %d: %w", ppn, ErrMediaRead)
+	}
+	copy(buf, page)
 	return nil
 }
 
@@ -267,6 +304,20 @@ func (a *Array) Program(ppn PPN, data []byte) error {
 		a.stats.FailedProgs++
 		return fmt.Errorf("nand: out-of-order program: block %d page %d, expected page %d",
 			block, idx, a.nextPage[block])
+	}
+	if hit, _ := a.inj.Decide(faults.KindNANDProgram, uint64(ppn)); hit {
+		// Program-status failure: the page is consumed (in-order
+		// constraint means firmware cannot come back to it) but holds
+		// no data. Advancing nextPage keeps the array's write pointer
+		// in lockstep with the FTL's, so a retried write lands on the
+		// next page of the same block instead of cascading into
+		// out-of-order errors.
+		a.state[ppn] = pageProgrammed
+		a.nextPage[block]++
+		a.stats.FailedProgs++
+		a.stats.MediaProgFails++
+		a.stats.BusyTime += a.lat.Program
+		return fmt.Errorf("nand: program of ppn %d: %w", ppn, ErrMediaProgram)
 	}
 	page := make([]byte, a.geo.PageBytes)
 	copy(page, data)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
 	"ftlhammer/internal/ftl"
 	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
@@ -90,6 +91,14 @@ type NSStats struct {
 // Config assembles a device.
 type Config struct {
 	Costs Costs
+	// Robust enables the retry/timeout/degradation policy (see Robust);
+	// the zero value keeps the idealized always-succeeds front end.
+	Robust Robust
+	// Faults, when non-nil, attaches a fault injector: KindLatency and
+	// KindDropCompletion rules (region-scoped by global LBA) fire on
+	// this device's command path. NAND and ECC kinds fire in the layers
+	// the same injector is threaded into (nand.WithFaults, ftl.SetFaults).
+	Faults *faults.Injector
 }
 
 // Device is the NVMe-like controller. Not safe for concurrent use; one
@@ -109,6 +118,17 @@ type Device struct {
 	// maxBatch is the largest queue-pair doorbell batch serviced
 	// (nvme_queue_batch_max).
 	maxBatch int
+
+	// Robustness state (see robust.go). All zero when robustOn() is
+	// false, in which case commands take the exact pre-faults path.
+	rob         Robust
+	inj         *faults.Injector
+	retryRNG    *sim.RNG
+	retryHist   *obs.Histogram
+	readOnly    bool
+	mediaErrs   uint64
+	cleanStreak uint64
+	rstats      RobustStats
 }
 
 // New builds a device over an FTL and its backing parts, inside world w.
@@ -134,12 +154,21 @@ func New(cfg Config, f *ftl.FTL, mem *dram.Module, flash *nand.Array, w *sim.Wor
 		costs:      costs,
 		pipelining: pip,
 		obs:        w.Obs,
+		rob:        cfg.Robust,
+		inj:        cfg.Faults,
+	}
+	if d.robustOn() {
+		d.retryRNG = w.Stream(retryStreamTag)
 	}
 	if d.obs != nil {
 		d.registerObs(d.obs)
 	}
 	return d
 }
+
+// retryStreamTag labels the World stream feeding backoff jitter, keeping
+// it decorrelated from every other subsystem's randomness.
+const retryStreamTag = 0x4e764d65
 
 // Clock returns the device's virtual clock.
 func (d *Device) Clock() *sim.Clock { return d.clk }
@@ -276,6 +305,17 @@ func (d *Device) chargeBackend(dramBefore dram.Stats, flashBefore nand.Stats) {
 	d.clk.Advance(busy / sim.Duration(d.pipelining))
 }
 
+// serve runs one backend service attempt: snapshot, FTL op, backend time
+// charge, guard report. It is the unit the robustness layer re-issues.
+func (d *Device) serve(ns *Namespace, g ftl.LBA, op func() error) error {
+	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
+	err := op()
+	activated := d.mem.Stats().Activations > dramBefore.Activations
+	d.chargeBackend(dramBefore, flashBefore)
+	d.observeGuard(ns, g, activated)
+	return err
+}
+
 // Read services one block read. The returned mapped flag reports whether
 // flash was touched (false for trimmed/unwritten LBAs — the fast path).
 func (d *Device) Read(ns *Namespace, lba ftl.LBA, buf []byte, path Path) (mapped bool, err error) {
@@ -284,11 +324,18 @@ func (d *Device) Read(ns *Namespace, lba ftl.LBA, buf []byte, path Path) (mapped
 		return false, err
 	}
 	d.admit(ns, path)
-	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
-	mapped, err = d.ftl.ReadLBA(g, buf)
-	activated := d.mem.Stats().Activations > dramBefore.Activations
-	d.chargeBackend(dramBefore, flashBefore)
-	d.observeGuard(ns, g, activated)
+	attempt := func() error {
+		return d.serve(ns, g, func() error {
+			var aerr error
+			mapped, aerr = d.ftl.ReadLBA(g, buf)
+			return aerr
+		})
+	}
+	if d.robustOn() {
+		err = d.robustly(g, OpRead, attempt)
+	} else {
+		err = attempt()
+	}
 	ns.stats.Reads++
 	return mapped, err
 }
@@ -299,12 +346,18 @@ func (d *Device) Write(ns *Namespace, lba ftl.LBA, data []byte, path Path) error
 	if err != nil {
 		return err
 	}
+	if err := d.rejectIfReadOnly(OpWrite); err != nil {
+		return err
+	}
 	d.admit(ns, path)
-	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
-	err = d.ftl.WriteLBA(g, data)
-	activated := d.mem.Stats().Activations > dramBefore.Activations
-	d.chargeBackend(dramBefore, flashBefore)
-	d.observeGuard(ns, g, activated)
+	attempt := func() error {
+		return d.serve(ns, g, func() error { return d.ftl.WriteLBA(g, data) })
+	}
+	if d.robustOn() {
+		err = d.robustly(g, OpWrite, attempt)
+	} else {
+		err = attempt()
+	}
 	ns.stats.Writes++
 	return err
 }
@@ -315,12 +368,18 @@ func (d *Device) Trim(ns *Namespace, lba ftl.LBA, path Path) error {
 	if err != nil {
 		return err
 	}
+	if err := d.rejectIfReadOnly(OpTrim); err != nil {
+		return err
+	}
 	d.admit(ns, path)
-	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
-	err = d.ftl.Trim(g)
-	activated := d.mem.Stats().Activations > dramBefore.Activations
-	d.chargeBackend(dramBefore, flashBefore)
-	d.observeGuard(ns, g, activated)
+	attempt := func() error {
+		return d.serve(ns, g, func() error { return d.ftl.Trim(g) })
+	}
+	if d.robustOn() {
+		err = d.robustly(g, OpTrim, attempt)
+	} else {
+		err = attempt()
+	}
 	ns.stats.Trims++
 	return err
 }

@@ -7,10 +7,24 @@ const (
 	// EvGuardThrottle is a change of a namespace's guard-imposed IOPS
 	// cap: namespace ID, the new cap (IOPS, 0 = lifted), the old cap.
 	EvGuardThrottle = "nvme.guard_throttle"
+	// EvRetry is one command re-issue: global LBA, the attempt number
+	// just failed (1-based), and the backoff delay charged before the
+	// re-issue.
+	EvRetry = "nvme.retry"
+	// EvTimeout is one per-attempt deadline expiry (including lost
+	// completions detected by deadline): global LBA, opcode, and the
+	// attempt's elapsed service time.
+	EvTimeout = "nvme.timeout"
+	// EvReadOnly is a degradation transition: entered (1) or exited (0),
+	// the media-error count at entry, the clean streak at exit.
+	EvReadOnly = "nvme.readonly"
 )
 
 func init() {
 	obs.RegisterEventKind(EvGuardThrottle, "ns", "cap_iops", "prev_iops")
+	obs.RegisterEventKind(EvRetry, "lba", "attempt", "backoff_ns")
+	obs.RegisterEventKind(EvTimeout, "lba", "op", "elapsed_ns")
+	obs.RegisterEventKind(EvReadOnly, "entered", "media_errors", "clean_streak")
 }
 
 // registerObs wires the device into its world's registry. Per-namespace
@@ -19,7 +33,25 @@ func init() {
 // virtual time — the paper's operating-point quantity (§4.1: ~1.4 M IOPS
 // on the direct path).
 func (d *Device) registerObs(r *obs.Registry) {
+	if d.robustOn() {
+		// Live handle: the retry-count distribution is observed per
+		// completed command with retries, directly on the hot path.
+		d.retryHist = r.Histogram("nvme_retries_per_command", obs.RetryBuckets)
+	}
 	r.OnFlush(func() {
+		if d.robustOn() {
+			rs := d.rstats
+			r.Counter("nvme_retries_total").Add(rs.Retries)
+			r.Counter("nvme_timeouts_total").Add(rs.Timeouts)
+			r.Counter("nvme_dropped_completions_total").Add(rs.DroppedCompletions)
+			r.Counter("nvme_media_errors_total").Add(rs.MediaErrors)
+			r.Counter("nvme_cmds_timedout_total").Add(rs.TimedOutCmds)
+			r.Counter("nvme_cmds_aborted_total").Add(rs.AbortedCmds)
+			r.Counter("nvme_cmds_media_failed_total").Add(rs.MediaFailedCmds)
+			r.Counter("nvme_readonly_entries_total").Add(rs.ReadOnlyEntries)
+			r.Counter("nvme_readonly_exits_total").Add(rs.ReadOnlyExits)
+			r.Counter("nvme_readonly_rejects_total").Add(rs.ReadOnlyRejects)
+		}
 		var total uint64
 		elapsed := float64(d.clk.Now()) / 1e9
 		for _, ns := range d.namespaces {

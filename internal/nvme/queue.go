@@ -86,6 +86,25 @@ func (q *QueuePair) Submit(cmd Command) error {
 // Ring processes every submitted command in order, filling the completion
 // queue. It returns the number processed. (The simulation is synchronous
 // under the hood; Ring is the "doorbell".)
+//
+// Completion-path invariants (audited for the fault-injection layer; the
+// historical model silently assumed every command eventually succeeds):
+//
+//  1. Every submitted command yields exactly one Completion, in
+//     submission order — even under injected faults. Lost completions
+//     are modeled *inside* the device's robustness layer (the host-side
+//     deadline detects the drop and aborts/requeues), so by the time
+//     Ring returns, no command is outstanding.
+//  2. A completion's Err is nil only if the command's data/mapping
+//     effect is real. Failure is never silent: commands that exhaust the
+//     retry budget complete with a typed error — ErrTimeout, ErrAborted,
+//     ErrMediaFailure, or ErrReadOnly — and non-transient device errors
+//     (ftl.CorruptMappingError, dram.ECCError, out-of-range) pass
+//     through verbatim, matchable with errors.Is/errors.As.
+//  3. Virtual time advances monotonically across the batch; retry
+//     backoff and deadline waits are charged to the clock before the
+//     next command is serviced, so completion timestamps (and all
+//     derived metrics) are deterministic at any -parallel worker count.
 func (q *QueuePair) Ring() int {
 	n := len(q.sq)
 	if n > q.dev.maxBatch {

@@ -147,6 +147,8 @@ var (
 	RateBuckets = ExpBuckets(1e3, 4, 10)
 	// SecondsBuckets spans wall-clock durations (100µs .. 1.6ks).
 	SecondsBuckets = ExpBuckets(1e-4, 4, 12)
+	// RetryBuckets spans per-command retry counts (1 .. 32).
+	RetryBuckets = ExpBuckets(1, 2, 6)
 )
 
 // L formats a label-qualified metric name, e.g. L("nvme_ns_reads_total",
