@@ -229,6 +229,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if err := obs.WriteTraceHeader(f); err != nil {
+				fatal(err)
+			}
 			if err := obs.WriteEventsJSONL(f, reg.Events()); err != nil {
 				fatal(err)
 			}

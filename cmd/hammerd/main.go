@@ -1,0 +1,215 @@
+// Command hammerd serves an emulated multi-tenant NVMe SSD over TCP using
+// the internal/transport protocol: one process owns the simulated device
+// (DRAM, NAND, FTL, NVMe front end) and remote tenants connect with
+// cmd/hammerload or transport.Dial, each session bound to its own
+// namespace.
+//
+// Example:
+//
+//	hammerd -listen 127.0.0.1:7701 -profile weak -tenants 4 -amplify 5
+//	hammerd -listen 127.0.0.1:7701 -fault-rate 0.001 -conn-fault-rate 0.0001
+//	hammerd -listen 127.0.0.1:7701 -metrics table -trace served.jsonl
+//
+// SIGINT/SIGTERM drain gracefully: no new sessions, inflight batches
+// complete, completions flush, then the process reports per-namespace
+// statistics (plus metrics/trace when requested) and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
+	"ftlhammer/internal/sim"
+	"ftlhammer/internal/transport"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:7701", "TCP listen address")
+		profile       = flag.String("profile", "weak", "DRAM profile: testbed | weak | invulnerable")
+		seed          = flag.Uint64("seed", 0xBEEF, "simulation seed")
+		tenants       = flag.Int("tenants", 4, "number of equal namespaces carved from the device")
+		amplify       = flag.Int("amplify", 1, "firmware hammers per I/O (paper testbed: 5)")
+		window        = flag.Int("window", 64, "max per-session inflight window")
+		maxSessions   = flag.Int("max-sessions", 256, "max concurrently open sessions")
+		faultRate     = flag.Float64("fault-rate", 0, "inject device faults at this per-op probability (standard mix, see docs/FAULTS.md)")
+		connFaultRate = flag.Float64("conn-fault-rate", 0, "inject connection resets at this per-batch probability")
+		robust        = flag.Bool("robust", false, "enable the NVMe retry/timeout/degradation policy (implied by -fault-rate)")
+		metrics       = flag.String("metrics", "", "exit-time metric dump: 'table' or 'json'")
+		trace         = flag.String("trace", "", "write the event trace to this JSONL file on exit")
+	)
+	flag.Parse()
+	if *metrics != "" && *metrics != "table" && *metrics != "json" {
+		fatal(fmt.Errorf("-metrics must be 'table' or 'json', got %q", *metrics))
+	}
+	if *tenants < 1 || *tenants > 0xFFFF {
+		fatal(fmt.Errorf("-tenants must be in [1, 65535], got %d", *tenants))
+	}
+	if *faultRate < 0 || *faultRate > 1 || *connFaultRate < 0 || *connFaultRate > 1 {
+		fatal(errors.New("-fault-rate and -conn-fault-rate must be in [0,1]"))
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" || *trace != "" {
+		if *trace != "" {
+			reg = obs.NewTracing(1 << 16)
+		} else {
+			reg = obs.NewRegistry()
+		}
+	}
+
+	dcfg := dram.Config{
+		Geometry: dram.SSDGeometry(),
+		Timing:   dram.DefaultTiming(),
+		Mapping: dram.MapperConfig{
+			Twist:      dram.TwistInterleave,
+			TwistGroup: 8,
+			XorBank:    true,
+		},
+		Seed: *seed,
+	}
+	geom := nand.Geometry{
+		Channels:      4,
+		DiesPerChan:   2,
+		PlanesPerDie:  2,
+		BlocksPerPlan: 32,
+		PagesPerBlock: 256,
+		PageBytes:     4096,
+	}
+	switch *profile {
+	case "testbed":
+		dcfg.Profile = dram.TestbedProfile()
+		dcfg.Mapping.TwistGroup = 16
+		geom = nand.DefaultGeometry()
+	case "weak":
+		dcfg.Profile = dram.Profile{
+			Name:            "weak DDR (scaled)",
+			HCfirst:         24000,
+			ThresholdSigma:  0.1,
+			WeakCellsPerRow: 2.0,
+		}
+	case "invulnerable":
+		dcfg.Profile = dram.InvulnerableProfile()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+
+	plan := faults.RatePlan(*faultRate)
+	if *connFaultRate > 0 {
+		plan = plan.With(faults.Rule{Kind: faults.KindConnReset, Probability: *connFaultRate})
+	}
+
+	world := sim.NewWorld(*seed)
+	world.Obs = reg
+	inj := faults.New(plan, world)
+	mem := dram.New(dcfg, world)
+	flash := nand.New(geom, nand.DefaultLatency(), nand.WithFaults(inj))
+	fcfg := ftl.Config{
+		NumLBAs:      geom.TotalPages() * 15 / 16,
+		HammersPerIO: *amplify,
+	}
+	f, err := ftl.New(fcfg, mem, flash)
+	if err != nil {
+		fatal(err)
+	}
+	f.SetFaults(inj)
+	ncfg := nvme.Config{Faults: inj}
+	if *robust || *faultRate > 0 {
+		ncfg.Robust = nvme.DefaultRobust()
+	}
+	dev := nvme.New(ncfg, f, mem, flash, world)
+	per := f.NumLBAs() / uint64(*tenants)
+	if per == 0 {
+		fatal(fmt.Errorf("device too small for %d tenants", *tenants))
+	}
+	for i := 0; i < *tenants; i++ {
+		if _, err := dev.AddNamespace(per, 0); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := transport.NewServer(dev, transport.Config{
+		Window:      *window,
+		MaxSessions: *maxSessions,
+		Faults:      inj,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	id := dev.Identify()
+	fmt.Printf("hammerd: serving %s (%.1f GiB, %d namespaces of %d LBAs, profile %s) on %s\n",
+		id.Model, float64(id.Capacity)/(1<<30), *tenants, per, dcfg.Profile.Name, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); !errors.Is(err, transport.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Println("hammerd: drained")
+
+	for _, ns := range dev.Namespaces() {
+		st := ns.Stats()
+		if st.Reads+st.Writes+st.Trims == 0 {
+			continue
+		}
+		fmt.Printf("ns %d: reads=%d writes=%d trims=%d throttled=%d\n",
+			ns.ID, st.Reads, st.Writes, st.Trims, st.Throttled)
+	}
+	ds := dev.DRAM().Stats()
+	fmt.Printf("dram: activations=%d rowHits=%d flips=%d\n", ds.Activations, ds.RowHits, ds.Flips)
+	if n := inj.InjectedTotal(); n > 0 {
+		fmt.Printf("faults: %d injected (%d conn resets)\n", n, inj.Injected(faults.KindConnReset))
+	}
+
+	if reg != nil {
+		reg.Flush()
+		snap := reg.Snapshot(true)
+		switch *metrics {
+		case "table":
+			fmt.Println()
+			if err := snap.WriteTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "json":
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *trace != "" {
+			tf, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteTraceHeader(tf); err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteEventsJSONL(tf, reg.Events()); err != nil {
+				fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				fatal(err)
+			}
+			total, dropped := reg.TraceTotals()
+			fmt.Printf("trace: %d events written to %s (%d dropped from ring)\n",
+				total-dropped, *trace, dropped)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hammerd:", err)
+	os.Exit(1)
+}

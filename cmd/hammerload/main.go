@@ -1,0 +1,270 @@
+// Command hammerload is the closed-loop multi-tenant load generator for
+// cmd/hammerd: it opens many concurrent transport sessions against a
+// served device, drives batched command streams through them, and reports
+// batch round-trip latency percentiles and goodput.
+//
+// Patterns:
+//
+//   - uniform: random LBAs, read/write mixed by -read-frac
+//   - hammer:  the paper's aggressor pattern — each session trims a small
+//     aggressor set once, then replays reads of those trimmed LBAs
+//     (minimal-cost L2P activations, §4.1) over the wire
+//   - seq:     sequential reads across the namespace
+//
+// Example:
+//
+//	hammerload -addr 127.0.0.1:7701 -sessions 64 -tenants 4 -ops 2000 -pattern hammer
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/stats"
+	"ftlhammer/internal/transport"
+)
+
+// result is one session's contribution to the report.
+type result struct {
+	ops      int
+	errs     int
+	mapped   int
+	batchRTT stats.Sample
+	fatalErr error
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7701", "hammerd address")
+		sessions = flag.Int("sessions", 64, "concurrent sessions")
+		tenants  = flag.Int("tenants", 4, "namespaces to spread sessions across (must be <= hammerd -tenants)")
+		ops      = flag.Int("ops", 2000, "commands per session")
+		batch    = flag.Int("batch", 16, "commands per doorbell batch")
+		pattern  = flag.String("pattern", "uniform", "workload: uniform | hammer | seq")
+		readFrac = flag.Float64("read-frac", 0.8, "read fraction for the uniform pattern")
+		pathFlag = flag.String("path", "direct", "submission path: direct | host-fs")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		dialWait = flag.Duration("dial-wait", 10*time.Second, "how long to retry the initial connection (server startup grace)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+	)
+	flag.Parse()
+	if *sessions < 1 || *tenants < 1 || *ops < 1 || *batch < 1 {
+		fatal(errors.New("-sessions, -tenants, -ops and -batch must be positive"))
+	}
+	if *readFrac < 0 || *readFrac > 1 {
+		fatal(fmt.Errorf("-read-frac must be in [0,1], got %g", *readFrac))
+	}
+	var path nvme.Path
+	switch *pathFlag {
+	case "direct":
+		path = nvme.PathDirect
+	case "host-fs":
+		path = nvme.PathHostFS
+	default:
+		fatal(fmt.Errorf("unknown path %q", *pathFlag))
+	}
+	switch *pattern {
+	case "uniform", "hammer", "seq":
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Probe once with retries: in CI the server races us to the socket.
+	probe, err := dialRetry(ctx, *addr, transport.ClientConfig{NSID: 1, Window: *batch}, *dialWait)
+	if err != nil {
+		fatal(fmt.Errorf("connecting to %s: %w", *addr, err))
+	}
+	blockBytes := probe.BlockBytes()
+	probe.Close()
+
+	fmt.Printf("hammerload: %d sessions x %d ops (batch %d, pattern %s) against %s\n",
+		*sessions, *ops, *batch, *pattern, *addr)
+	results := make([]result, *sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := transport.ClientConfig{
+				NSID:   1 + i%*tenants,
+				Path:   path,
+				Window: *batch,
+			}
+			results[i] = runSession(ctx, *addr, cfg, sessionParams{
+				ops:        *ops,
+				batch:      *batch,
+				pattern:    *pattern,
+				readFrac:   *readFrac,
+				blockBytes: blockBytes,
+				rng:        rand.New(rand.NewSource(*seed + int64(i)*7919)),
+			})
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all stats.Sample
+	total, errCount, mapped, failedSessions := 0, 0, 0, 0
+	for i := range results {
+		r := &results[i]
+		total += r.ops
+		errCount += r.errs
+		mapped += r.mapped
+		all.Merge(&r.batchRTT)
+		if r.fatalErr != nil {
+			failedSessions++
+			if failedSessions <= 3 {
+				fmt.Fprintf(os.Stderr, "hammerload: session %d: %v\n", i, r.fatalErr)
+			}
+		}
+	}
+	fmt.Printf("completed: %d ops (%d with command errors, %d mapped reads) over %d/%d sessions in %v\n",
+		total, errCount, mapped, *sessions-failedSessions, *sessions, elapsed.Round(time.Millisecond))
+	if all.N() > 0 {
+		toMS := func(s float64) float64 { return s * 1e3 }
+		fmt.Printf("batch RTT: p50 %.3fms p95 %.3fms p99 %.3fms max %.3fms (%d batches)\n",
+			toMS(all.Median()), toMS(all.Percentile(95)), toMS(all.Percentile(99)), toMS(all.Max()), all.N())
+	}
+	if total > 0 && elapsed > 0 {
+		fmt.Printf("goodput: %.0f ops/s\n", float64(total)/elapsed.Seconds())
+	}
+	if total == 0 {
+		fatal(errors.New("no operations completed"))
+	}
+}
+
+// dialRetry keeps dialing until the server answers, the grace period runs
+// out, or ctx dies.
+func dialRetry(ctx context.Context, addr string, cfg transport.ClientConfig, grace time.Duration) (*transport.Client, error) {
+	deadline := time.Now().Add(grace)
+	for {
+		c, err := transport.Dial(ctx, addr, cfg)
+		if err == nil {
+			return c, nil
+		}
+		var remote *transport.RemoteError
+		if errors.As(err, &remote) {
+			// The server answered and said no; retrying won't change that.
+			return nil, err
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return nil, err
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+type sessionParams struct {
+	ops        int
+	batch      int
+	pattern    string
+	readFrac   float64
+	blockBytes int
+	rng        *rand.Rand
+}
+
+// runSession drives one closed loop: build a batch, ring, repeat.
+func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p sessionParams) result {
+	var res result
+	c, err := transport.Dial(ctx, addr, cfg)
+	if err != nil {
+		res.fatalErr = err
+		return res
+	}
+	defer c.Close()
+	numLBAs := c.NumLBAs()
+	if numLBAs == 0 {
+		res.fatalErr = errors.New("empty namespace")
+		return res
+	}
+
+	// The hammer pattern's aggressor set: a handful of LBAs spread across
+	// the namespace, trimmed up front so the replayed reads hit unmapped
+	// entries — the cheapest (and in the paper, the hammering) command.
+	aggressors := []ftl.LBA{
+		ftl.LBA(numLBAs / 7),
+		ftl.LBA(3 * numLBAs / 7),
+		ftl.LBA(5 * numLBAs / 7),
+	}
+	if p.pattern == "hammer" {
+		for _, lba := range aggressors {
+			if err := c.Trim(ctx, lba); err != nil {
+				res.fatalErr = fmt.Errorf("priming aggressors: %w", err)
+				return res
+			}
+		}
+	}
+
+	var seq uint64
+	bufs := make([][]byte, p.batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, p.blockBytes)
+	}
+	for done := 0; done < p.ops; {
+		n := p.batch
+		if rem := p.ops - done; rem < n {
+			n = rem
+		}
+		for i := 0; i < n; i++ {
+			cmd := nvme.Command{Tag: uint64(done + i), Buf: bufs[i]}
+			switch p.pattern {
+			case "hammer":
+				cmd.Op = nvme.OpRead
+				cmd.LBA = aggressors[int(seq)%len(aggressors)]
+			case "seq":
+				cmd.Op = nvme.OpRead
+				cmd.LBA = ftl.LBA(seq % numLBAs)
+			default: // uniform
+				cmd.LBA = ftl.LBA(p.rng.Uint64() % numLBAs)
+				if p.rng.Float64() < p.readFrac {
+					cmd.Op = nvme.OpRead
+				} else {
+					cmd.Op = nvme.OpWrite
+				}
+			}
+			seq++
+			if err := c.Submit(cmd); err != nil {
+				res.fatalErr = err
+				return res
+			}
+		}
+		t0 := time.Now()
+		if _, err := c.Ring(ctx); err != nil {
+			res.fatalErr = err
+			return res
+		}
+		res.batchRTT.Add(time.Since(t0).Seconds())
+		for _, comp := range c.Completions() {
+			res.ops++
+			if comp.Err != nil {
+				res.errs++
+			}
+			if comp.Mapped {
+				res.mapped++
+			}
+		}
+		done += n
+	}
+	return res
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hammerload:", err)
+	os.Exit(1)
+}

@@ -97,6 +97,9 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
+		if err := obs.WriteTraceHeader(f); err != nil {
+			fatal(err)
+		}
 		r.traceFile = f
 	}
 

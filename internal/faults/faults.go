@@ -35,6 +35,11 @@ const (
 	// metadata corruption central to the paper, injected directly).
 	// Region addresses are DRAM physical byte addresses.
 	KindECCUncorrectable
+	// KindConnReset tears down a transport session's connection after a
+	// served batch (NVMe-oF link loss: the commands completed on the
+	// device, but the host never hears back and must reconnect). Region
+	// addresses are transport session IDs.
+	KindConnReset
 
 	numKinds
 )
@@ -52,6 +57,8 @@ func (k Kind) String() string {
 		return "drop-completion"
 	case KindECCUncorrectable:
 		return "ecc-uncorrectable"
+	case KindConnReset:
+		return "conn-reset"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,6 +1,7 @@
 package nvme
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -209,6 +210,17 @@ func (d *Device) AddNamespace(numLBAs uint64, maxIOPS float64) (*Namespace, erro
 // Namespaces returns the configured namespaces.
 func (d *Device) Namespaces() []*Namespace { return d.namespaces }
 
+// NamespaceByID resolves a namespace ID (1-based, as reported by Identify
+// and used on the wire by the transport layer).
+func (d *Device) NamespaceByID(id int) (*Namespace, bool) {
+	for _, ns := range d.namespaces {
+		if ns.ID == id {
+			return ns, true
+		}
+	}
+	return nil, false
+}
+
 // Stats returns a copy of a namespace's counters.
 func (ns *Namespace) Stats() NSStats { return ns.stats }
 
@@ -316,72 +328,116 @@ func (d *Device) serve(ns *Namespace, g ftl.LBA, op func() error) error {
 	return err
 }
 
-// Read services one block read. The returned mapped flag reports whether
-// flash was touched (false for trimmed/unwritten LBAs — the fast path).
-func (d *Device) Read(ns *Namespace, lba ftl.LBA, buf []byte, path Path) (mapped bool, err error) {
-	g, err := d.global(ns, lba)
-	if err != nil {
-		return false, err
+// ErrNoNamespace reports a Command submitted without a target namespace.
+var ErrNoNamespace = errors.New("nvme: command has no namespace")
+
+// Do executes one command synchronously and returns its completion. It is
+// the single typed entrypoint shared by queue pairs, the network transport
+// and direct callers; Read, Write and Trim are thin wrappers over it.
+//
+// The returned error reports submission-level rejections only (nil
+// namespace, invalid opcode) — cases where the command never reached the
+// device. Everything the device itself decides (out-of-range LBA,
+// read-only rejection, media failure, timeout) lands in Completion.Err,
+// exactly as it would arrive in a completion queue entry.
+func (d *Device) Do(cmd Command) (Completion, error) {
+	return d.DoContext(context.Background(), cmd)
+}
+
+// DoContext is Do with first-class cancellation: ctx is consulted between
+// service attempts of the robustness retry loop, so a caller abandoning a
+// command (a disconnected transport session, a canceled experiment) stops
+// burning retries instead of waiting for the deadline budget to exhaust.
+// A nil ctx behaves like context.Background(). Without the robustness
+// path, commands are a single synchronous attempt and ctx is not checked.
+func (d *Device) DoContext(ctx context.Context, cmd Command) (Completion, error) {
+	c := Completion{Tag: cmd.Tag}
+	ns := cmd.NS
+	if ns == nil {
+		return c, ErrNoNamespace
 	}
-	d.admit(ns, path)
+	switch cmd.Op {
+	case OpRead, OpWrite, OpTrim:
+	default:
+		return c, fmt.Errorf("nvme: invalid opcode %d", cmd.Op)
+	}
+	g, err := d.global(ns, cmd.LBA)
+	if err != nil {
+		c.Err = err
+		return c, nil
+	}
+	if cmd.Op != OpRead {
+		if err := d.rejectIfReadOnly(cmd.Op); err != nil {
+			c.Err = err
+			return c, nil
+		}
+	}
+	d.admit(ns, cmd.Path)
 	attempt := func() error {
 		return d.serve(ns, g, func() error {
-			var aerr error
-			mapped, aerr = d.ftl.ReadLBA(g, buf)
-			return aerr
+			switch cmd.Op {
+			case OpRead:
+				var aerr error
+				c.Mapped, aerr = d.ftl.ReadLBA(g, cmd.Buf)
+				return aerr
+			case OpWrite:
+				return d.ftl.WriteLBA(g, cmd.Buf)
+			default:
+				return d.ftl.Trim(g)
+			}
 		})
 	}
 	if d.robustOn() {
-		err = d.robustly(g, OpRead, attempt)
+		c.Err = d.robustly(ctx, g, cmd.Op, attempt)
 	} else {
-		err = attempt()
+		c.Err = attempt()
 	}
-	ns.stats.Reads++
-	return mapped, err
+	switch cmd.Op {
+	case OpRead:
+		ns.stats.Reads++
+	case OpWrite:
+		ns.stats.Writes++
+	default:
+		ns.stats.Trims++
+	}
+	return c, nil
+}
+
+// Read services one block read. The returned mapped flag reports whether
+// flash was touched (false for trimmed/unwritten LBAs — the fast path).
+//
+// Deprecated: build a Command and call Do; Read survives as a convenience
+// wrapper for existing call sites.
+func (d *Device) Read(ns *Namespace, lba ftl.LBA, buf []byte, path Path) (mapped bool, err error) {
+	c, err := d.Do(Command{Op: OpRead, NS: ns, Path: path, LBA: lba, Buf: buf})
+	if err != nil {
+		return false, err
+	}
+	return c.Mapped, c.Err
 }
 
 // Write services one block write.
+//
+// Deprecated: build a Command and call Do; Write survives as a convenience
+// wrapper for existing call sites.
 func (d *Device) Write(ns *Namespace, lba ftl.LBA, data []byte, path Path) error {
-	g, err := d.global(ns, lba)
+	c, err := d.Do(Command{Op: OpWrite, NS: ns, Path: path, LBA: lba, Buf: data})
 	if err != nil {
 		return err
 	}
-	if err := d.rejectIfReadOnly(OpWrite); err != nil {
-		return err
-	}
-	d.admit(ns, path)
-	attempt := func() error {
-		return d.serve(ns, g, func() error { return d.ftl.WriteLBA(g, data) })
-	}
-	if d.robustOn() {
-		err = d.robustly(g, OpWrite, attempt)
-	} else {
-		err = attempt()
-	}
-	ns.stats.Writes++
-	return err
+	return c.Err
 }
 
 // Trim deallocates one block (NVMe Dataset Management / Deallocate).
+//
+// Deprecated: build a Command and call Do; Trim survives as a convenience
+// wrapper for existing call sites.
 func (d *Device) Trim(ns *Namespace, lba ftl.LBA, path Path) error {
-	g, err := d.global(ns, lba)
+	c, err := d.Do(Command{Op: OpTrim, NS: ns, Path: path, LBA: lba})
 	if err != nil {
 		return err
 	}
-	if err := d.rejectIfReadOnly(OpTrim); err != nil {
-		return err
-	}
-	d.admit(ns, path)
-	attempt := func() error {
-		return d.serve(ns, g, func() error { return d.ftl.Trim(g) })
-	}
-	if d.robustOn() {
-		err = d.robustly(g, OpTrim, attempt)
-	} else {
-		err = attempt()
-	}
-	ns.stats.Trims++
-	return err
+	return c.Err
 }
 
 // Identify describes the controller, in the spirit of the NVMe Identify

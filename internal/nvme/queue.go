@@ -32,10 +32,17 @@ func (o Opcode) String() string {
 	}
 }
 
-// Command is one submission-queue entry.
+// Command is one submission-queue entry. It is the single typed unit of
+// work the device accepts: queue pairs, the network transport and direct
+// callers all build Commands and hand them to Device.Do.
 type Command struct {
-	Op  Opcode
-	LBA ftl.LBA
+	Op Opcode
+	// NS is the target namespace. Queue pairs fill it from their binding;
+	// direct Device.Do callers must set it.
+	NS *Namespace
+	// Path selects the submission cost model (direct vs host-FS).
+	Path Path
+	LBA  ftl.LBA
 	// Buf receives data for OpRead and supplies it for OpWrite; it must
 	// be one block.
 	Buf []byte
@@ -111,16 +118,12 @@ func (q *QueuePair) Ring() int {
 		q.dev.maxBatch = n
 	}
 	for _, cmd := range q.sq {
-		c := Completion{Tag: cmd.Tag}
-		switch cmd.Op {
-		case OpRead:
-			c.Mapped, c.Err = q.dev.Read(q.ns, cmd.LBA, cmd.Buf, q.path)
-		case OpWrite:
-			c.Err = q.dev.Write(q.ns, cmd.LBA, cmd.Buf, q.path)
-		case OpTrim:
-			c.Err = q.dev.Trim(q.ns, cmd.LBA, q.path)
-		default:
-			c.Err = fmt.Errorf("nvme: invalid opcode %d", cmd.Op)
+		cmd.NS, cmd.Path = q.ns, q.path
+		c, err := q.dev.Do(cmd)
+		if err != nil {
+			// Submission-level rejection (malformed command): surface it
+			// as the command's completion status, as a controller would.
+			c.Err = err
 		}
 		q.cq = append(q.cq, c)
 	}

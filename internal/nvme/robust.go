@@ -1,6 +1,7 @@
 package nvme
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -194,7 +195,12 @@ func (d *Device) rejectIfReadOnly(op Opcode) error {
 //
 // attempt is the single-service-attempt closure (admission is charged
 // once, before the loop; each attempt re-runs only backend service).
-func (d *Device) robustly(g ftl.LBA, op Opcode, attempt func() error) error {
+//
+// ctx carries caller cancellation: it is consulted before every retry
+// re-issue (never mid-attempt — an attempt is one indivisible virtual-time
+// unit), so a canceled caller completes the command with ctx.Err() instead
+// of spending the remaining retry budget. A nil ctx never cancels.
+func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt func() error) error {
 	maxAttempts := 1 + d.rob.MaxRetries
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -257,6 +263,15 @@ func (d *Device) robustly(g ftl.LBA, op Opcode, attempt func() error) error {
 			default:
 				d.rstats.TimedOutCmds++
 				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, ErrTimeout, try)
+			}
+		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// The caller is gone; abandon the remaining retry budget.
+				if try > 1 {
+					d.retryHist.Observe(float64(try - 1))
+				}
+				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, cerr, try)
 			}
 		}
 		d.rstats.Retries++

@@ -9,6 +9,13 @@ import (
 	"strings"
 )
 
+// SchemaVersion identifies the wire format of the JSON metrics snapshot
+// and the JSONL trace stream. Consumers should check the "schema" field of
+// the snapshot envelope (and of the trace header line) and refuse versions
+// they do not understand; the version is bumped on any incompatible change
+// to either format. docs/METRICS.md documents the formats.
+const SchemaVersion = "v1"
+
 // CounterSnap is one counter in a snapshot.
 type CounterSnap struct {
 	Name  string `json:"name"`
@@ -35,6 +42,9 @@ type HistSnap struct {
 // Sorting makes rendering deterministic: two registries with equal
 // contents produce byte-identical output.
 type Snapshot struct {
+	// Schema is the versioned envelope marker (SchemaVersion); it is the
+	// first field so the JSON rendering leads with {"schema":"v1",...}.
+	Schema       string        `json:"schema"`
 	Counters     []CounterSnap `json:"counters"`
 	Gauges       []GaugeSnap   `json:"gauges"`
 	Histograms   []HistSnap    `json:"histograms"`
@@ -47,7 +57,7 @@ type Snapshot struct {
 // timings and other host-dependent values) are omitted, which is what
 // keeps metric dumps byte-identical across runs and worker counts.
 func (r *Registry) Snapshot(includeVolatile bool) Snapshot {
-	var s Snapshot
+	s := Snapshot{Schema: SchemaVersion}
 	if r == nil {
 		return s
 	}

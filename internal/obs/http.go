@@ -23,6 +23,7 @@ func Handler(r *Registry) http.Handler {
 	})
 	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteTraceHeader(w)
 		_ = WriteEventsJSONL(w, r.Events())
 	})
 	return mux

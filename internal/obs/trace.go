@@ -108,6 +108,16 @@ func fieldNames(kind string) [3]string {
 	return f
 }
 
+// WriteTraceHeader writes the versioned first line of a JSONL trace
+// stream: {"schema":"v1","format":"ftlhammer-trace"}. Writers emit it once
+// per file (or HTTP response), before any events, so consumers can detect
+// format drift; every subsequent line is one event object (which always
+// carries "t" and "kind", never "schema").
+func WriteTraceHeader(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "{\"schema\":%q,\"format\":\"ftlhammer-trace\"}\n", SchemaVersion)
+	return err
+}
+
 // WriteEventsJSONL writes events one JSON object per line, resolving each
 // kind's attribute names. Attributes with an empty declared name are
 // omitted.

@@ -1,0 +1,474 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftlhammer/internal/faults"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
+)
+
+// ErrServerClosed is returned by Serve after a graceful drain (Shutdown or
+// context cancellation), mirroring net/http.ErrServerClosed.
+var ErrServerClosed = errors.New("transport: server closed")
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Window bounds each session's inflight commands (granted windows
+	// clamp client requests to it). Default 64, max 4096.
+	Window int
+	// MaxSessions caps concurrently open sessions; further handshakes are
+	// rejected with StatusShutdown-like refusal (StatusInvalid + message).
+	// Default 256.
+	MaxSessions int
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// send its hello. Default 10s.
+	HandshakeTimeout time.Duration
+	// Faults, when non-nil, drives KindConnReset connection faults: after
+	// a served batch the injector may doom the session's connection,
+	// modeling NVMe-oF link loss. Typically the same injector threaded
+	// through the device (fault schedules stay on one world's streams).
+	Faults *faults.Injector
+}
+
+func (c *Config) fillDefaults() {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.Window > 4096 {
+		c.Window = 4096
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+}
+
+// engineItem is one unit of work funneled into the engine goroutine:
+// exactly one of open, closeSess, or a command batch.
+type engineItem struct {
+	sess      *session
+	open      bool
+	closeSess bool
+	cmds      []nvme.Command
+	// stalled marks a batch whose window-token acquisition had to block —
+	// the observable edge of backpressure.
+	stalled bool
+}
+
+// outBatch is one completions frame queued to a session's writer.
+type outBatch struct {
+	comps []wireCompletion
+	// reset dooms the connection after this frame (conn-reset fault).
+	reset bool
+}
+
+// session is one connected tenant.
+type session struct {
+	id     uint32
+	nsid   int
+	conn   net.Conn
+	qp     *nvme.QueuePair
+	window int
+	// tokens is the inflight window: one token per submitted command,
+	// released by the writer after the completion is on the wire.
+	tokens chan struct{}
+	// out carries completions from the engine to the writer. Capacity =
+	// window batches, so the engine never blocks on a slow client.
+	out        chan outBatch
+	writerDone chan struct{}
+}
+
+// Server exposes one *nvme.Device over TCP. Create with NewServer, run
+// with Serve, stop with Shutdown (or by canceling Serve's context).
+//
+// The device must not be driven by anyone else while the server runs: the
+// engine goroutine takes over the device's virtual-clock ownership for the
+// duration of Serve and hands it back when Serve returns.
+type Server struct {
+	dev *nvme.Device
+	cfg Config
+	reg *obs.Registry
+
+	work chan engineItem
+	done chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint32]*session
+	nextID   uint32
+	draining bool
+	serving  bool
+
+	// st is owned by the engine goroutine; read at Flush after quiesce.
+	st       serverStats
+	rejected atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+}
+
+// NewServer wraps a device. The device's world registry (if any) receives
+// transport_* series at Flush and transport.* trace events live.
+func NewServer(dev *nvme.Device, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		dev:      dev,
+		cfg:      cfg,
+		reg:      dev.World().Obs,
+		work:     make(chan engineItem, 64),
+		done:     make(chan struct{}),
+		sessions: map[uint32]*session{},
+	}
+	if s.reg != nil {
+		s.registerObs(s.reg)
+	}
+	return s
+}
+
+// Serve accepts sessions on ln until ctx is canceled or Shutdown is
+// called, then drains inflight commands and returns ErrServerClosed. Any
+// other listener error is returned verbatim. Serve may be called once.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	if s.serving {
+		s.mu.Unlock()
+		return errors.New("transport: Serve called twice")
+	}
+	s.serving = true
+	s.ln = ln
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		ln.Close()
+		close(s.work)
+		close(s.done)
+		return ErrServerClosed
+	}
+
+	// The engine becomes the device's single clock owner for the run.
+	s.dev.Clock().Handoff()
+	engineDone := make(chan struct{})
+	go s.engine(engineDone)
+
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.beginDrain()
+		case <-stopWatch:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if !draining {
+				acceptErr = err
+			}
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+	close(stopWatch)
+	s.beginDrain()
+	wg.Wait()
+	close(s.work)
+	<-engineDone
+	close(s.done)
+	if acceptErr != nil {
+		return acceptErr
+	}
+	return ErrServerClosed
+}
+
+// beginDrain stops accepting and kicks every session's read loop; inflight
+// commands still complete and their completions are flushed.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	ln := s.ln
+	kick := make([]*session, 0, len(s.sessions))
+	for _, se := range s.sessions {
+		kick = append(kick, se)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, se := range kick {
+		// Unblock the reader; queued batches drain through the engine.
+		se.conn.SetReadDeadline(time.Now())
+	}
+}
+
+// Shutdown gracefully drains the server: no new sessions, inflight
+// commands complete, completions flush, then Serve returns. If ctx expires
+// first, remaining connections are force-closed and ctx's error returned.
+// Shutdown before Serve marks the server closed; a later Serve returns
+// immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	started := s.serving
+	s.mu.Unlock()
+	s.beginDrain()
+	if !started {
+		return nil
+	}
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, se := range s.sessions {
+		se.conn.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return ctx.Err()
+}
+
+// reject answers a failed handshake and closes the connection.
+func (s *Server) reject(conn net.Conn, st Status, msg string) {
+	s.rejected.Add(1)
+	payload := appendWelcome(nil, welcome{Version: ProtocolVersion, Status: st, Msg: msg})
+	_ = writeFrame(conn, frameWelcome, payload)
+}
+
+// serveConn runs one session: handshake, then the read loop feeding the
+// engine, with a writer goroutine flushing completions back.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	typ, payload, err := readFrame(conn, 64)
+	if err != nil || typ != frameHello {
+		s.rejected.Add(1)
+		return
+	}
+	h, err := parseHello(payload)
+	if err != nil {
+		s.reject(conn, StatusInvalid, err.Error())
+		return
+	}
+	if h.Version != ProtocolVersion {
+		s.reject(conn, StatusInvalid, fmt.Sprintf("transport: protocol version %d, want %d", h.Version, ProtocolVersion))
+		return
+	}
+	path, err := pathOf(h.Path)
+	if err != nil {
+		s.reject(conn, StatusInvalid, err.Error())
+		return
+	}
+	ns, ok := s.dev.NamespaceByID(int(h.NSID))
+	if !ok {
+		s.reject(conn, StatusInvalid, fmt.Sprintf("transport: no namespace %d", h.NSID))
+		return
+	}
+	window := int(h.Window)
+	if window <= 0 || window > s.cfg.Window {
+		window = s.cfg.Window
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject(conn, StatusShutdown, "transport: server is draining")
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.reject(conn, StatusInvalid, fmt.Sprintf("transport: session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	s.nextID++
+	se := &session{
+		id:         s.nextID,
+		nsid:       ns.ID,
+		conn:       conn,
+		window:     window,
+		tokens:     make(chan struct{}, window),
+		out:        make(chan outBatch, window),
+		writerDone: make(chan struct{}),
+	}
+	s.sessions[se.id] = se
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, se.id)
+		s.mu.Unlock()
+	}()
+
+	qp, err := s.dev.NewQueuePair(ns, path, window)
+	if err != nil {
+		s.reject(conn, StatusInvalid, err.Error())
+		return
+	}
+	se.qp = qp
+
+	blockBytes := s.dev.BlockBytes()
+	wpayload := appendWelcome(nil, welcome{
+		Version:    ProtocolVersion,
+		Status:     StatusOK,
+		SessionID:  se.id,
+		BlockBytes: uint32(blockBytes),
+		NumLBAs:    ns.NumLBAs,
+		Window:     uint16(window),
+	})
+	if err := writeFrame(conn, frameWelcome, wpayload); err != nil {
+		return
+	}
+
+	s.work <- engineItem{sess: se, open: true}
+	go s.writeLoop(se)
+	maxPayload := maxBatchPayload(window, blockBytes)
+	conn.SetReadDeadline(time.Time{})
+	for {
+		typ, payload, err := readFrame(conn, maxPayload)
+		if err != nil || typ == frameBye {
+			break
+		}
+		if typ != frameBatch {
+			break
+		}
+		s.bytesIn.Add(uint64(frameHeaderLen + len(payload)))
+		wcmds, err := parseBatch(payload, blockBytes)
+		if err != nil || len(wcmds) == 0 || len(wcmds) > window {
+			break
+		}
+		cmds := make([]nvme.Command, len(wcmds))
+		for i, wc := range wcmds {
+			cmds[i] = nvme.Command{
+				Op:  nvme.Opcode(wc.Op),
+				LBA: lbaOf(wc.LBA),
+				Tag: wc.Tag,
+			}
+			if cmds[i].Op == nvme.OpWrite {
+				cmds[i].Buf = wc.Data
+			} else if cmds[i].Op == nvme.OpRead {
+				cmds[i].Buf = make([]byte, blockBytes)
+			}
+		}
+		// Backpressure: one window token per command, released only after
+		// its completion is written back. When the window is exhausted
+		// this blocks, which stalls the read loop and ultimately the
+		// client's TCP stream.
+		stalled := false
+		for range cmds {
+			select {
+			case se.tokens <- struct{}{}:
+			default:
+				stalled = true
+				se.tokens <- struct{}{}
+			}
+		}
+		s.work <- engineItem{sess: se, cmds: cmds, stalled: stalled}
+	}
+	// All of this session's batches precede this item on the work
+	// channel, so the engine closes se.out only after serving them.
+	s.work <- engineItem{sess: se, closeSess: true}
+	<-se.writerDone
+}
+
+// writeLoop flushes completions for one session. After a write error it
+// keeps draining (and releasing window tokens) so the reader and engine
+// never wedge on a dead client.
+func (s *Server) writeLoop(se *session) {
+	defer close(se.writerDone)
+	dead := false
+	for ob := range se.out {
+		if !dead {
+			payload := appendCompletions(nil, ob.comps)
+			if err := writeFrame(se.conn, frameCompletions, payload); err != nil {
+				dead = true
+			} else {
+				s.bytesOut.Add(uint64(frameHeaderLen + len(payload)))
+			}
+		}
+		for range ob.comps {
+			<-se.tokens
+		}
+		if ob.reset && !dead {
+			// Injected link loss: the batch completed device-side but the
+			// session dies under the client.
+			se.conn.Close()
+			dead = true
+		}
+	}
+}
+
+// engine is the single goroutine that owns the device clock: every command
+// from every session funnels through here in arrival order, which is what
+// keeps the simulated device state identical to an in-process run issuing
+// the same command sequence.
+func (s *Server) engine(done chan struct{}) {
+	defer close(done)
+	// Hand the clock back so the post-Serve goroutine can inspect state.
+	defer s.dev.Clock().Handoff()
+	clk := s.dev.Clock()
+	for it := range s.work {
+		switch {
+		case it.open:
+			s.st.sessions++
+			s.st.active++
+			if s.st.active > s.st.activeMax {
+				s.st.activeMax = s.st.active
+			}
+			s.reg.Emit(uint64(clk.Now()), EvSession, int64(it.sess.id), 1, int64(it.sess.nsid))
+		case it.closeSess:
+			s.st.active--
+			s.reg.Emit(uint64(clk.Now()), EvSession, int64(it.sess.id), 0, int64(it.sess.nsid))
+			close(it.sess.out)
+		default:
+			if it.stalled {
+				s.st.overloads++
+				s.reg.Emit(uint64(clk.Now()), EvOverload, int64(it.sess.id), int64(it.sess.window), int64(len(it.cmds)))
+			}
+			s.st.batches++
+			s.st.commands += uint64(len(it.cmds))
+			for _, cmd := range it.cmds {
+				if err := it.sess.qp.Submit(cmd); err != nil {
+					// Unreachable: batch size is bounded by the window,
+					// which is the queue depth.
+					panic(err)
+				}
+			}
+			it.sess.qp.Ring()
+			comps := it.sess.qp.Completions()
+			wcs := make([]wireCompletion, len(comps))
+			for i, cp := range comps {
+				st, msg := statusOf(cp.Err)
+				wcs[i] = wireCompletion{Tag: cp.Tag, Status: st, Mapped: cp.Mapped, Msg: msg}
+				if st == StatusOK && it.cmds[i].Op == nvme.OpRead {
+					wcs[i].Data = it.cmds[i].Buf
+				}
+			}
+			reset := false
+			if hit, _ := s.cfg.Faults.Decide(faults.KindConnReset, uint64(it.sess.id)); hit {
+				reset = true
+				s.st.connResets++
+			}
+			it.sess.out <- outBatch{comps: wcs, reset: reset}
+		}
+	}
+}
