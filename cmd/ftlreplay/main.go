@@ -1,0 +1,319 @@
+// Command ftlreplay re-executes recorded command traces against a
+// deterministic simulated device, verifies final state hashes, shrinks
+// failing traces to their minimal core, and converts device snapshots
+// between the binary format and JSON.
+//
+// The device-building flags (-profile, -seed, -tenants, -amplify,
+// -fault-rate, -robust) mirror cmd/hammerd, so a trace recorded by
+// `hammerd -record` replays here against an identically configured
+// device. Alternatively -restore starts the replay from a binary
+// snapshot taken with -save or nvme.Device.Checkpoint.
+//
+// Modes:
+//
+//	ftlreplay -trace cmds.jsonl                      # replay, report hash
+//	ftlreplay -trace cmds.jsonl -expect-hash 0xABC   # golden verify (exit 1 on mismatch)
+//	ftlreplay -trace cmds.jsonl -save state.snap     # snapshot the device after replay
+//	ftlreplay -restore state.snap -trace more.jsonl  # resume, then replay more
+//	ftlreplay -trace cmds.jsonl -shrink -match "out of range" -out min.jsonl
+//	ftlreplay -export-json state.snap                # snapshot → JSON on stdout
+//
+// -shrink runs delta debugging: it repeatedly replays subsets of the
+// trace on a fresh (or freshly restored) device and keeps the smallest
+// subsequence whose replay still produces a completion error containing
+// -match (any completion error when -match is empty). The result is
+// 1-minimal: removing any single command makes the failure disappear.
+// See docs/REPLAY.md for the trace and snapshot format specs.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/replay"
+	"ftlhammer/internal/sim"
+	"ftlhammer/internal/snapshot"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// devConfig carries the device-building flags; it matches cmd/hammerd so
+// recorded traces replay against the same configuration.
+type devConfig struct {
+	profile   string
+	seed      uint64
+	tenants   int
+	amplify   int
+	faultRate float64
+	robust    bool
+}
+
+// build constructs a fresh device from the config. Shrinking calls it
+// once per delta-debugging probe, which is what makes every probe start
+// from the same initial state.
+func (c devConfig) build() (*nvme.Device, error) {
+	dcfg := dram.Config{
+		Geometry: dram.SSDGeometry(),
+		Timing:   dram.DefaultTiming(),
+		Mapping: dram.MapperConfig{
+			Twist:      dram.TwistInterleave,
+			TwistGroup: 8,
+			XorBank:    true,
+		},
+		Seed: c.seed,
+	}
+	geom := nand.Geometry{
+		Channels:      4,
+		DiesPerChan:   2,
+		PlanesPerDie:  2,
+		BlocksPerPlan: 32,
+		PagesPerBlock: 256,
+		PageBytes:     4096,
+	}
+	switch c.profile {
+	case "testbed":
+		dcfg.Profile = dram.TestbedProfile()
+		dcfg.Mapping.TwistGroup = 16
+		geom = nand.DefaultGeometry()
+	case "weak":
+		dcfg.Profile = dram.Profile{
+			Name:            "weak DDR (scaled)",
+			HCfirst:         24000,
+			ThresholdSigma:  0.1,
+			WeakCellsPerRow: 2.0,
+		}
+	case "invulnerable":
+		dcfg.Profile = dram.InvulnerableProfile()
+	default:
+		return nil, fmt.Errorf("unknown profile %q", c.profile)
+	}
+	if c.tenants < 1 || c.tenants > 0xFFFF {
+		return nil, fmt.Errorf("-tenants must be in [1, 65535], got %d", c.tenants)
+	}
+	if c.faultRate < 0 || c.faultRate > 1 {
+		return nil, errors.New("-fault-rate must be in [0,1]")
+	}
+
+	world := sim.NewWorld(c.seed)
+	inj := faults.New(faults.RatePlan(c.faultRate), world)
+	mem := dram.New(dcfg, world)
+	flash := nand.New(geom, nand.DefaultLatency(), nand.WithFaults(inj))
+	f, err := ftl.New(ftl.Config{
+		NumLBAs:      geom.TotalPages() * 15 / 16,
+		HammersPerIO: c.amplify,
+	}, mem, flash)
+	if err != nil {
+		return nil, err
+	}
+	f.SetFaults(inj)
+	ncfg := nvme.Config{Faults: inj}
+	if c.robust || c.faultRate > 0 {
+		ncfg.Robust = nvme.DefaultRobust()
+	}
+	dev := nvme.New(ncfg, f, mem, flash, world)
+	per := f.NumLBAs() / uint64(c.tenants)
+	if per == 0 {
+		return nil, fmt.Errorf("device too small for %d tenants", c.tenants)
+	}
+	for i := 0; i < c.tenants; i++ {
+		if _, err := dev.AddNamespace(per, 0); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftlreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg devConfig
+	fs.StringVar(&cfg.profile, "profile", "weak", "DRAM profile: testbed | weak | invulnerable")
+	fs.Uint64Var(&cfg.seed, "seed", 0xBEEF, "simulation seed")
+	fs.IntVar(&cfg.tenants, "tenants", 4, "number of equal namespaces carved from the device")
+	fs.IntVar(&cfg.amplify, "amplify", 1, "firmware hammers per I/O")
+	fs.Float64Var(&cfg.faultRate, "fault-rate", 0, "inject device faults at this per-op probability")
+	fs.BoolVar(&cfg.robust, "robust", false, "enable the NVMe retry/timeout/degradation policy (implied by -fault-rate)")
+	var (
+		tracePath  = fs.String("trace", "", "replay this command-trace JSONL file")
+		restore    = fs.String("restore", "", "restore the device from this binary snapshot before replaying")
+		save       = fs.String("save", "", "snapshot the device to this file after the replay")
+		expectHash = fs.String("expect-hash", "", "verify the final state hash equals this value (e.g. 0x1a2b...)")
+		shrink     = fs.Bool("shrink", false, "delta-debug the trace down to a minimal failing core")
+		match      = fs.String("match", "", "with -shrink: the failure is a completion error containing this substring")
+		out        = fs.String("out", "", "with -shrink: write the minimal trace here (default stdout)")
+		exportJSON = fs.String("export-json", "", "decode this binary snapshot and write it as JSON to stdout (standalone mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ftlreplay:", err)
+		return 1
+	}
+
+	if *exportJSON != "" {
+		data, err := os.ReadFile(*exportJSON)
+		if err != nil {
+			return fail(err)
+		}
+		snap, err := snapshot.Decode(data)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", *exportJSON, err))
+		}
+		if err := snap.WriteJSON(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *tracePath == "" {
+		fmt.Fprintln(stderr, "ftlreplay: -trace is required (or use -export-json)")
+		fs.Usage()
+		return 2
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		return fail(err)
+	}
+	entries, err := replay.ReadTrace(tf)
+	tf.Close()
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", *tracePath, err))
+	}
+
+	// fresh builds the replay target: a new device, optionally fast-
+	// forwarded to the -restore snapshot.
+	var snapBytes []byte
+	if *restore != "" {
+		if snapBytes, err = os.ReadFile(*restore); err != nil {
+			return fail(err)
+		}
+	}
+	fresh := func() (*nvme.Device, error) {
+		dev, err := cfg.build()
+		if err != nil {
+			return nil, err
+		}
+		if snapBytes != nil {
+			if err := dev.Restore(bytes.NewReader(snapBytes)); err != nil {
+				return nil, fmt.Errorf("restoring %s: %w", *restore, err)
+			}
+		}
+		return dev, nil
+	}
+
+	if *shrink {
+		return runShrink(entries, fresh, *match, *out, stdout, stderr)
+	}
+
+	dev, err := fresh()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "device: config digest %#016x\n", dev.ConfigDigest())
+	res, err := replay.Run(dev, entries)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "replayed %d commands (%d completed with errors)\n", res.Commands, res.Failed)
+	fmt.Fprintf(stdout, "state hash: %#016x\n", res.StateHash)
+	if *save != "" {
+		sf, err := os.Create(*save)
+		if err != nil {
+			return fail(err)
+		}
+		if err := dev.Checkpoint(sf); err != nil {
+			sf.Close()
+			return fail(err)
+		}
+		if err := sf.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "snapshot saved to %s\n", *save)
+	}
+	if *expectHash != "" {
+		want, err := strconv.ParseUint(*expectHash, 0, 64)
+		if err != nil {
+			return fail(fmt.Errorf("-expect-hash: %w", err))
+		}
+		if res.StateHash != want {
+			return fail(&replay.HashMismatchError{Got: res.StateHash, Want: want})
+		}
+		fmt.Fprintln(stdout, "state hash verified")
+	}
+	return 0
+}
+
+// runShrink delta-debugs entries down to a minimal subsequence whose
+// replay on a fresh device still fails (a completion error containing
+// match, or any completion error when match is empty).
+func runShrink(entries []replay.Entry, fresh func() (*nvme.Device, error), match, out string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ftlreplay:", err)
+		return 1
+	}
+	// Surface device-build errors once up front instead of silently
+	// treating every probe as "not failing".
+	if _, err := fresh(); err != nil {
+		return fail(err)
+	}
+	failing := func(es []replay.Entry) bool {
+		dev, err := fresh()
+		if err != nil {
+			return false
+		}
+		res, err := replay.Run(dev, es)
+		if err != nil {
+			// The subset doesn't even map onto the device (EntryError):
+			// that is not the failure being chased.
+			return false
+		}
+		if match == "" {
+			return res.Failed > 0
+		}
+		for _, msg := range res.Errors {
+			if msg != "" && strings.Contains(msg, match) {
+				return true
+			}
+		}
+		return false
+	}
+	if !failing(entries) {
+		return fail(fmt.Errorf("the full %d-command trace does not fail (match %q); nothing to shrink", len(entries), match))
+	}
+	minimal := replay.Shrink(entries, failing)
+	fmt.Fprintf(stdout, "shrunk %d commands to %d\n", len(entries), len(minimal))
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return fail(err)
+		}
+		if err := replay.WriteTrace(f, minimal); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "minimal trace written to %s\n", out)
+		return 0
+	}
+	if err := replay.WriteTrace(w, minimal); err != nil {
+		return fail(err)
+	}
+	return 0
+}

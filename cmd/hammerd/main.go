@@ -9,10 +9,16 @@
 //	hammerd -listen 127.0.0.1:7701 -profile weak -tenants 4 -amplify 5
 //	hammerd -listen 127.0.0.1:7701 -fault-rate 0.001 -conn-fault-rate 0.0001
 //	hammerd -listen 127.0.0.1:7701 -metrics table -trace served.jsonl
+//	hammerd -listen 127.0.0.1:7701 -record cmds.jsonl
+//
+// -record captures every admitted command (tagged with its session) as a
+// replay trace; cmd/ftlreplay re-executes such traces deterministically.
 //
 // SIGINT/SIGTERM drain gracefully: no new sessions, inflight batches
 // complete, completions flush, then the process reports per-namespace
-// statistics (plus metrics/trace when requested) and exits.
+// statistics (plus metrics/trace/record output when requested) and exits.
+// Any failure while writing that exit report — including a broken stdout
+// — makes the process exit non-zero.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -31,34 +38,71 @@ import (
 	"ftlhammer/internal/nand"
 	"ftlhammer/internal/nvme"
 	"ftlhammer/internal/obs"
+	"ftlhammer/internal/replay"
 	"ftlhammer/internal/sim"
 	"ftlhammer/internal/transport"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// errWriter latches the first write error so every fmt.Fprintf in the
+// exit report doesn't need individual checking; run inspects the latch
+// before deciding the exit code.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
+// run is main with its dependencies injected, returning the process exit
+// code (0 ok, 1 runtime or output failure, 2 flag errors).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hammerd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		listen        = flag.String("listen", "127.0.0.1:7701", "TCP listen address")
-		profile       = flag.String("profile", "weak", "DRAM profile: testbed | weak | invulnerable")
-		seed          = flag.Uint64("seed", 0xBEEF, "simulation seed")
-		tenants       = flag.Int("tenants", 4, "number of equal namespaces carved from the device")
-		amplify       = flag.Int("amplify", 1, "firmware hammers per I/O (paper testbed: 5)")
-		window        = flag.Int("window", 64, "max per-session inflight window")
-		maxSessions   = flag.Int("max-sessions", 256, "max concurrently open sessions")
-		faultRate     = flag.Float64("fault-rate", 0, "inject device faults at this per-op probability (standard mix, see docs/FAULTS.md)")
-		connFaultRate = flag.Float64("conn-fault-rate", 0, "inject connection resets at this per-batch probability")
-		robust        = flag.Bool("robust", false, "enable the NVMe retry/timeout/degradation policy (implied by -fault-rate)")
-		metrics       = flag.String("metrics", "", "exit-time metric dump: 'table' or 'json'")
-		trace         = flag.String("trace", "", "write the event trace to this JSONL file on exit")
+		listen        = fs.String("listen", "127.0.0.1:7701", "TCP listen address")
+		profile       = fs.String("profile", "weak", "DRAM profile: testbed | weak | invulnerable")
+		seed          = fs.Uint64("seed", 0xBEEF, "simulation seed")
+		tenants       = fs.Int("tenants", 4, "number of equal namespaces carved from the device")
+		amplify       = fs.Int("amplify", 1, "firmware hammers per I/O (paper testbed: 5)")
+		window        = fs.Int("window", 64, "max per-session inflight window")
+		maxSessions   = fs.Int("max-sessions", 256, "max concurrently open sessions")
+		faultRate     = fs.Float64("fault-rate", 0, "inject device faults at this per-op probability (standard mix, see docs/FAULTS.md)")
+		connFaultRate = fs.Float64("conn-fault-rate", 0, "inject connection resets at this per-batch probability")
+		robust        = fs.Bool("robust", false, "enable the NVMe retry/timeout/degradation policy (implied by -fault-rate)")
+		metrics       = fs.String("metrics", "", "exit-time metric dump: 'table' or 'json'")
+		trace         = fs.String("trace", "", "write the event trace to this JSONL file on exit")
+		record        = fs.String("record", "", "record every admitted command to this replay-trace JSONL file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hammerd:", err)
+		return 1
+	}
 	if *metrics != "" && *metrics != "table" && *metrics != "json" {
-		fatal(fmt.Errorf("-metrics must be 'table' or 'json', got %q", *metrics))
+		return fail(fmt.Errorf("-metrics must be 'table' or 'json', got %q", *metrics))
 	}
 	if *tenants < 1 || *tenants > 0xFFFF {
-		fatal(fmt.Errorf("-tenants must be in [1, 65535], got %d", *tenants))
+		return fail(fmt.Errorf("-tenants must be in [1, 65535], got %d", *tenants))
 	}
 	if *faultRate < 0 || *faultRate > 1 || *connFaultRate < 0 || *connFaultRate > 1 {
-		fatal(errors.New("-fault-rate and -conn-fault-rate must be in [0,1]"))
+		return fail(errors.New("-fault-rate and -conn-fault-rate must be in [0,1]"))
 	}
 
 	var reg *obs.Registry
@@ -103,7 +147,7 @@ func main() {
 	case "invulnerable":
 		dcfg.Profile = dram.InvulnerableProfile()
 	default:
-		fatal(fmt.Errorf("unknown profile %q", *profile))
+		return fail(fmt.Errorf("unknown profile %q", *profile))
 	}
 
 	plan := faults.RatePlan(*faultRate)
@@ -122,7 +166,7 @@ func main() {
 	}
 	f, err := ftl.New(fcfg, mem, flash)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	f.SetFaults(inj)
 	ncfg := nvme.Config{Faults: inj}
@@ -132,12 +176,23 @@ func main() {
 	dev := nvme.New(ncfg, f, mem, flash, world)
 	per := f.NumLBAs() / uint64(*tenants)
 	if per == 0 {
-		fatal(fmt.Errorf("device too small for %d tenants", *tenants))
+		return fail(fmt.Errorf("device too small for %d tenants", *tenants))
 	}
 	for i := 0; i < *tenants; i++ {
 		if _, err := dev.AddNamespace(per, 0); err != nil {
-			fatal(err)
+			return fail(err)
 		}
+	}
+
+	var recFile *os.File
+	var rec *replay.Recorder
+	if *record != "" {
+		recFile, err = os.Create(*record)
+		if err != nil {
+			return fail(err)
+		}
+		rec = replay.NewRecorder(recFile)
+		rec.Attach(dev)
 	}
 
 	srv := transport.NewServer(dev, transport.Config{
@@ -147,69 +202,94 @@ func main() {
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+	out := &errWriter{w: stdout}
 	id := dev.Identify()
-	fmt.Printf("hammerd: serving %s (%.1f GiB, %d namespaces of %d LBAs, profile %s) on %s\n",
+	fmt.Fprintf(out, "hammerd: serving %s (%.1f GiB, %d namespaces of %d LBAs, profile %s) on %s\n",
 		id.Model, float64(id.Capacity)/(1<<30), *tenants, per, dcfg.Profile.Name, ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := srv.Serve(ctx, ln); !errors.Is(err, transport.ErrServerClosed) {
-		fatal(err)
+	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, transport.ErrServerClosed) {
+		return fail(err)
 	}
-	fmt.Println("hammerd: drained")
+	fmt.Fprintln(out, "hammerd: drained")
 
 	for _, ns := range dev.Namespaces() {
 		st := ns.Stats()
 		if st.Reads+st.Writes+st.Trims == 0 {
 			continue
 		}
-		fmt.Printf("ns %d: reads=%d writes=%d trims=%d throttled=%d\n",
+		fmt.Fprintf(out, "ns %d: reads=%d writes=%d trims=%d throttled=%d\n",
 			ns.ID, st.Reads, st.Writes, st.Trims, st.Throttled)
 	}
 	ds := dev.DRAM().Stats()
-	fmt.Printf("dram: activations=%d rowHits=%d flips=%d\n", ds.Activations, ds.RowHits, ds.Flips)
+	fmt.Fprintf(out, "dram: activations=%d rowHits=%d flips=%d\n", ds.Activations, ds.RowHits, ds.Flips)
 	if n := inj.InjectedTotal(); n > 0 {
-		fmt.Printf("faults: %d injected (%d conn resets)\n", n, inj.Injected(faults.KindConnReset))
+		fmt.Fprintf(out, "faults: %d injected (%d conn resets)\n", n, inj.Injected(faults.KindConnReset))
 	}
 
-	if reg != nil {
-		reg.Flush()
-		snap := reg.Snapshot(true)
-		switch *metrics {
-		case "table":
-			fmt.Println()
-			if err := snap.WriteTable(os.Stdout); err != nil {
-				fatal(err)
-			}
-		case "json":
-			if err := snap.WriteJSON(os.Stdout); err != nil {
-				fatal(err)
-			}
+	if rec != nil {
+		dev.SetRecorder(nil)
+		if err := rec.Flush(); err != nil {
+			return fail(fmt.Errorf("recording %s: %w", *record, err))
 		}
-		if *trace != "" {
-			tf, err := os.Create(*trace)
-			if err != nil {
-				fatal(err)
-			}
-			if err := obs.WriteTraceHeader(tf); err != nil {
-				fatal(err)
-			}
-			if err := obs.WriteEventsJSONL(tf, reg.Events()); err != nil {
-				fatal(err)
-			}
-			if err := tf.Close(); err != nil {
-				fatal(err)
-			}
-			total, dropped := reg.TraceTotals()
-			fmt.Printf("trace: %d events written to %s (%d dropped from ring)\n",
-				total-dropped, *trace, dropped)
+		if err := recFile.Close(); err != nil {
+			return fail(fmt.Errorf("recording %s: %w", *record, err))
+		}
+		fmt.Fprintf(out, "record: %d commands written to %s\n", rec.Count(), *record)
+	}
+	if reg != nil {
+		if err := dumpObs(out, reg, *metrics, *trace); err != nil {
+			return fail(err)
 		}
 	}
+	// A broken stdout must not look like a clean exit: the dump above is
+	// the run's product when metrics/trace/record are requested.
+	if out.err != nil {
+		return fail(fmt.Errorf("writing exit report: %w", out.err))
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hammerd:", err)
-	os.Exit(1)
+// dumpObs writes the exit-time metrics snapshot and event trace. Every
+// error propagates: losing the dump is a failed run.
+func dumpObs(out io.Writer, reg *obs.Registry, metrics, trace string) error {
+	reg.Flush()
+	snap := reg.Snapshot(true)
+	switch metrics {
+	case "table":
+		if _, err := fmt.Fprintln(out); err != nil {
+			return err
+		}
+		if err := snap.WriteTable(out); err != nil {
+			return err
+		}
+	case "json":
+		if err := snap.WriteJSON(out); err != nil {
+			return err
+		}
+	}
+	if trace != "" {
+		tf, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTraceHeader(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := obs.WriteEventsJSONL(tf, reg.Events()); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		total, dropped := reg.TraceTotals()
+		if _, err := fmt.Fprintf(out, "trace: %d events written to %s (%d dropped from ring)\n",
+			total-dropped, trace, dropped); err != nil {
+			return err
+		}
+	}
+	return nil
 }

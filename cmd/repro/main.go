@@ -54,6 +54,12 @@ func main() {
 			"append the event trace to this JSONL file")
 		listen = flag.String("listen", "",
 			"serve live /metrics, /metrics.json, /trace.jsonl and /debug/pprof on this address during the run")
+		checkpoint = flag.String("checkpoint", "",
+			"persist completed trial results to this file so an interrupted run can resume")
+		checkpointEvery = flag.Int("checkpoint-every", 1,
+			"flush the checkpoint store after this many completed trials")
+		resume = flag.Bool("resume", false,
+			"resume from -checkpoint: completed trials replay from the store, only missing ones execute")
 	)
 	flag.StringVar(expID, "experiment", "", "alias for -exp")
 	flag.Parse()
@@ -65,6 +71,24 @@ func main() {
 	opt := experiments.Options{Quick: true, Workers: *parallel}
 	if *full {
 		opt.Quick = false
+	}
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *checkpoint != "" {
+		ck, err := experiments.OpenCheckpoint(*checkpoint, *checkpointEvery, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := ck.Close(); err != nil {
+				fatal(err)
+			}
+			if n := ck.Hits(); n > 0 {
+				fmt.Fprintf(os.Stderr, "repro: %d trials resumed from %s\n", n, *checkpoint)
+			}
+		}()
+		opt.Checkpoint = ck
 	}
 
 	r := &runner{
@@ -138,6 +162,11 @@ type runner struct {
 
 func (r *runner) runOne(e experiments.Experiment) {
 	opt := r.opt
+	if opt.Checkpoint != nil {
+		// Scope stored trial results to this experiment and restart its
+		// fan-out numbering, so resume matches trials positionally.
+		opt.Checkpoint.SetExperiment(e.ID)
+	}
 	// Each experiment gets a fresh registry so its dump covers exactly
 	// its own trials; the cumulative root (served by -listen) receives a
 	// merge afterwards.

@@ -185,6 +185,55 @@ func TestDocsTrackCode(t *testing.T) {
 	}
 }
 
+// TestSnapshotFormatVersionDocumented is the snapshot-versioning gate:
+// the current snapshot.FormatVersion must have a "Version N" entry in
+// docs/REPLAY.md's version history. Bumping the format without
+// documenting what changed fails CI.
+func TestSnapshotFormatVersionDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "snapshot"), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version := ""
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "FormatVersion" || i >= len(vs.Values) {
+							continue
+						}
+						if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.INT {
+							version = lit.Value
+						}
+					}
+				}
+			}
+		}
+	}
+	if version == "" {
+		t.Fatal("cannot find the snapshot.FormatVersion integer constant; the lint is miswired")
+	}
+	doc, err := os.ReadFile(filepath.Join("docs", "REPLAY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), "Version "+version) {
+		t.Errorf("snapshot.FormatVersion is %s but docs/REPLAY.md has no \"Version %s\" history entry", version, version)
+	}
+}
+
 func TestEveryPackageHasDocComment(t *testing.T) {
 	fset := token.NewFileSet()
 	for _, root := range []string{"internal", "cmd"} {

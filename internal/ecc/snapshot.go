@@ -1,0 +1,19 @@
+package ecc
+
+// LayoutDigest returns an FNV-1a hash of the SEC-DED codeword layout (the
+// data-bit position table). The code itself is stateless — every mutable
+// ECC artifact (check bytes, corrected/uncorrected counters) lives in the
+// dram section of a snapshot — so the layout digest is what snapshots
+// record for ECC: a restore refuses a checkpoint written under a
+// different code, which would silently mis-decode every check byte.
+func LayoutDigest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, pos := range dataPositions {
+		h = (h ^ uint64(pos)) * prime
+	}
+	return h
+}

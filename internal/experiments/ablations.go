@@ -187,8 +187,8 @@ func ablateAmplification(w io.Writer, opt Options) error {
 	}
 	amps := []int{1, 2, 5}
 	type ampRow struct {
-		perIO float64
-		flips uint64
+		PerIO float64
+		Flips uint64
 	}
 	rows, err := runTrialsObs(opt, len(amps), func(i int, reg *obs.Registry) (ampRow, error) {
 		amp := amps[i]
@@ -229,13 +229,13 @@ func ablateAmplification(w io.Writer, opt Options) error {
 		}
 		st1 := mem.Stats()
 		perIO := float64((st1.Activations+st1.RowHits)-(st0.Activations+st0.RowHits)) / float64(ios)
-		return ampRow{perIO: perIO, flips: st1.Flips - st0.Flips}, nil
+		return ampRow{PerIO: perIO, Flips: st1.Flips - st0.Flips}, nil
 	})
 	if err != nil {
 		return err
 	}
 	for i, amp := range amps {
-		fmt.Fprintf(w, "%-14d %14.1f %10d\n", amp, rows[i].perIO, rows[i].flips)
+		fmt.Fprintf(w, "%-14d %14.1f %10d\n", amp, rows[i].PerIO, rows[i].Flips)
 	}
 	fmt.Fprintf(w, "-> amplification multiplies per-IO activations (the paper's x5 testbed hack)\n")
 	return nil

@@ -16,15 +16,15 @@ import (
 
 // faultTrial is one (fault rate, seed) measurement.
 type faultTrial struct {
-	kiops    float64 // victim goodput, thousands of ops per virtual second
-	okFrac   float64 // fraction of victim commands that completed cleanly
-	retries  uint64
-	timeouts uint64
-	media    uint64 // attempt-level media errors
-	failed   uint64 // commands completing with a typed failure
-	readonly uint64 // read-only mode entries
-	observed bool   // attack saw translation corruption
-	blocked  bool   // attack stopped by device degradation
+	KIOPS    float64 // victim goodput, thousands of ops per virtual second
+	OKFrac   float64 // fraction of victim commands that completed cleanly
+	Retries  uint64
+	Timeouts uint64
+	Media    uint64 // attempt-level media errors
+	Failed   uint64 // commands completing with a typed failure
+	Readonly uint64 // read-only mode entries
+	Observed bool   // attack saw translation corruption
+	Blocked  bool   // attack stopped by device degradation
 }
 
 // FaultsRobustness sweeps injected fault rates over the standardized
@@ -54,17 +54,17 @@ func FaultsRobustness(w io.Writer, opt Options) error {
 		success, blocked := 0, 0
 		for r := 0; r < reps; r++ {
 			t := rows[ri*reps+r]
-			agg.kiops += t.kiops
-			agg.okFrac += t.okFrac
-			agg.retries += t.retries
-			agg.timeouts += t.timeouts
-			agg.media += t.media
-			agg.failed += t.failed
-			agg.readonly += t.readonly
-			if t.observed {
+			agg.KIOPS += t.KIOPS
+			agg.OKFrac += t.OKFrac
+			agg.Retries += t.Retries
+			agg.Timeouts += t.Timeouts
+			agg.Media += t.Media
+			agg.Failed += t.Failed
+			agg.Readonly += t.Readonly
+			if t.Observed {
 				success++
 			}
-			if t.blocked {
+			if t.Blocked {
 				blocked++
 			}
 		}
@@ -73,8 +73,8 @@ func FaultsRobustness(w io.Writer, opt Options) error {
 			attack += fmt.Sprintf(" (%d blkd)", blocked)
 		}
 		fmt.Fprintf(w, "%-10g %9.1fk %8.4f %8d %9d %7d %7d %9d %8s\n",
-			rate, agg.kiops/float64(reps), agg.okFrac/float64(reps),
-			agg.retries, agg.timeouts, agg.media, agg.failed, agg.readonly, attack)
+			rate, agg.KIOPS/float64(reps), agg.OKFrac/float64(reps),
+			agg.Retries, agg.Timeouts, agg.Media, agg.Failed, agg.Readonly, attack)
 	}
 	fmt.Fprintf(w, "\ngoodput is the victim tenant's clean-completion rate; 'attack' counts seeds\n")
 	fmt.Fprintf(w, "where hammering corrupted a translation ('blkd': the probe was stopped by\n")
@@ -155,15 +155,15 @@ func faultProbe(rate float64, seed uint64, quick bool, reg *obs.Registry) (fault
 
 	rs := tb.Device.RobustStats()
 	return faultTrial{
-		kiops:    float64(ok) / elapsed.Seconds() / 1e3,
-		okFrac:   float64(ok) / float64(ok+bad),
-		retries:  rs.Retries,
-		timeouts: rs.Timeouts,
-		media:    rs.MediaErrors,
-		failed:   rs.TimedOutCmds + rs.AbortedCmds + rs.MediaFailedCmds,
-		readonly: rs.ReadOnlyEntries,
-		observed: observed,
-		blocked:  blocked,
+		KIOPS:    float64(ok) / elapsed.Seconds() / 1e3,
+		OKFrac:   float64(ok) / float64(ok+bad),
+		Retries:  rs.Retries,
+		Timeouts: rs.Timeouts,
+		Media:    rs.MediaErrors,
+		Failed:   rs.TimedOutCmds + rs.AbortedCmds + rs.MediaFailedCmds,
+		Readonly: rs.ReadOnlyEntries,
+		Observed: observed,
+		Blocked:  blocked,
 	}, nil
 }
 

@@ -15,11 +15,11 @@ import (
 
 // mitigationResult is one row of the §5 table.
 type mitigationResult struct {
-	name      string
-	flips     uint64
-	corrected uint64
-	observed  bool   // attacker-visible translation corruption
-	outcome   string // summary
+	Name      string
+	Flips     uint64
+	Corrected uint64
+	Observed  bool   // attacker-visible translation corruption
+	Outcome   string // summary
 }
 
 // mitigationProbe is one §5 table row specification: a config mutation
@@ -91,7 +91,7 @@ func Mitigations5(w io.Writer, opt Options) error {
 
 	fmt.Fprintf(w, "%-34s %8s %10s %10s  %s\n", "mitigation", "flips", "corrected", "observed", "outcome")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-34s %8d %10d %10v  %s\n", r.name, r.flips, r.corrected, r.observed, r.outcome)
+		fmt.Fprintf(w, "%-34s %8d %10d %10v  %s\n", r.Name, r.Flips, r.Corrected, r.Observed, r.Outcome)
 	}
 
 	// Structural mitigations that stop earlier stages.
@@ -181,20 +181,20 @@ func probeMitigation(name string, mutate func(*cloud.Config), hopts core.HammerO
 	}
 	st := tb.DRAM.Stats()
 	res := mitigationResult{
-		name:      name,
-		flips:     st.Flips,
-		corrected: st.ECCCorrected,
-		observed:  observed,
+		Name:      name,
+		Flips:     st.Flips,
+		Corrected: st.ECCCorrected,
+		Observed:  observed,
 	}
 	switch {
 	case !observed && st.Flips == 0:
-		res.outcome = "attack blocked (no flips)"
+		res.Outcome = "attack blocked (no flips)"
 	case !observed && st.ECCCorrected > 0:
-		res.outcome = "flips occur but are corrected"
+		res.Outcome = "flips occur but are corrected"
 	case !observed:
-		res.outcome = "flips occur but are not observable"
+		res.Outcome = "flips occur but are not observable"
 	default:
-		res.outcome = "ATTACK SUCCEEDS (silent corruption)"
+		res.Outcome = "ATTACK SUCCEEDS (silent corruption)"
 	}
 	return res, nil
 }

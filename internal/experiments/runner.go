@@ -29,6 +29,12 @@ type Options struct {
 	// output, are byte-identical at any Workers value. Nil disables
 	// observability at ~zero hot-path cost.
 	Obs *obs.Registry
+	// Checkpoint, when non-nil, persists completed trial results and
+	// satisfies already-completed trials from the store on resume (see
+	// OpenCheckpoint). Resumed trials skip simulation and registry work
+	// entirely, so report output stays byte-identical while metrics
+	// cover only re-executed trials.
+	Checkpoint *Checkpoint
 }
 
 // WorkerCount resolves the effective worker-pool size.
@@ -148,29 +154,56 @@ func init() {
 //
 // On error no merge happens: which higher-numbered trials ran depends on
 // scheduling, and the run is aborting anyway.
+//
+// With opt.Checkpoint set, each fan-out is a numbered phase of the
+// current experiment: completed trials are served from the store (doing
+// zero simulation and zero registry work — their shard registry stays
+// nil, which Merge ignores) and freshly computed results are persisted
+// as they complete.
 func runTrialsObs[T any](opt Options, n int, fn func(trial int, reg *obs.Registry) (T, error)) ([]T, error) {
 	root := opt.Obs
-	if root == nil {
-		return runTrials(opt.WorkerCount(), n, func(i int) (T, error) { return fn(i, nil) })
+	ck := opt.Checkpoint
+	seq := 0
+	if ck != nil {
+		seq = ck.beginPhase()
 	}
 	regs := make([]*obs.Registry, n)
 	tracing := root.Tracing()
 	out, err := runTrials(opt.WorkerCount(), n, func(i int) (T, error) {
-		reg := obs.NewRegistry()
-		if tracing {
-			reg = obs.NewTracing(shardTraceCap)
+		if ck != nil {
+			if data, ok := ck.lookup(seq, i); ok {
+				var v T
+				if err := decodeTrial(data, &v); err == nil {
+					return v, nil
+				}
+				// Undecodable record (different binary): re-execute.
+			}
 		}
-		regs[i] = reg
-		reg.Emit(0, EvTrial, int64(i), 0, 0)
+		var reg *obs.Registry
+		if root != nil {
+			reg = obs.NewRegistry()
+			if tracing {
+				reg = obs.NewTracing(shardTraceCap)
+			}
+			regs[i] = reg
+			reg.Emit(0, EvTrial, int64(i), 0, 0)
+		}
 		start := time.Now()
 		v, err := fn(i, reg)
-		reg.VolatileHistogram("runner_trial_wallclock_seconds", obs.SecondsBuckets).
-			Observe(time.Since(start).Seconds())
-		reg.Counter("runner_trials_total").Inc()
-		if err != nil {
-			reg.Counter("runner_trials_failed_total").Inc()
+		if root != nil {
+			reg.VolatileHistogram("runner_trial_wallclock_seconds", obs.SecondsBuckets).
+				Observe(time.Since(start).Seconds())
+			reg.Counter("runner_trials_total").Inc()
+			if err != nil {
+				reg.Counter("runner_trials_failed_total").Inc()
+			}
+			reg.Flush()
 		}
-		reg.Flush()
+		if err == nil && ck != nil {
+			if data, encErr := encodeTrial(v); encErr == nil {
+				ck.record(seq, i, data)
+			}
+		}
 		return v, err
 	})
 	if err != nil {

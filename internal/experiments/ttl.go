@@ -24,8 +24,8 @@ func TimeToLeak42(w io.Writer, opt Options) error {
 	fmt.Fprintf(w, "%-18s %10s %10s %14s %12s %8s\n",
 		"victim spray", "files", "cycles", "virtual time", "flips", "leaked")
 	type ttlRow struct {
-		files int
-		rep   *core.CampaignReport
+		Files int
+		Rep   *core.CampaignReport
 	}
 	rows, err := runTrialsObs(opt, len(fractions), func(i int, reg *obs.Registry) (ttlRow, error) {
 		frac := fractions[i]
@@ -52,19 +52,19 @@ func TimeToLeak42(w io.Writer, opt Options) error {
 		if err != nil {
 			return ttlRow{}, err
 		}
-		return ttlRow{files: files, rep: rep}, nil
+		return ttlRow{Files: files, Rep: rep}, nil
 	})
 	if err != nil {
 		return err
 	}
 	for i, frac := range fractions {
-		rep := rows[i].rep
+		rep := rows[i].Rep
 		cycles := fmt.Sprintf("%d", rep.Cycles)
 		if !rep.SecretFound {
 			cycles = fmt.Sprintf(">%d", rep.Cycles) // censored at the cap
 		}
 		fmt.Fprintf(w, "%-18.2f %10d %10s %14v %12d %8v\n",
-			frac, rows[i].files, cycles, rep.Elapsed, rep.FlipsInduced, rep.SecretFound)
+			frac, rows[i].Files, cycles, rep.Elapsed, rep.FlipsInduced, rep.SecretFound)
 	}
 	fmt.Fprintf(w, "-> low coverage (the paper's 5%% SPDK limit) stretches the attack, as reported;\n")
 	fmt.Fprintf(w, "   the paper's two-hour testbed figure was attributed to exactly this limit\n")

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"math"
+
+	"ftlhammer/internal/snapshot"
+)
+
+// snapSection is the snapshot section owned by the fault injector.
+const snapSection = "faults"
+
+// ConfigDigest returns an FNV-1a hash over the injector's compiled rule
+// configurations. It is part of the device config digest: a snapshot
+// taken under one fault plan must not restore into a device running
+// another, since per-rule RNG stream positions would silently diverge. A
+// nil injector digests to zero.
+func (in *Injector) ConfigDigest() uint64 {
+	if in == nil {
+		return 0
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xFF)) * prime
+			v >>= 8
+		}
+	}
+	for _, r := range in.rules {
+		mix(uint64(r.Kind))
+		mix(math.Float64bits(r.Probability))
+		mix(r.Every)
+		mix(r.After)
+		mix(r.Count)
+		mix(r.Region.Start)
+		mix(r.Region.End)
+		mix(uint64(r.Latency))
+	}
+	return h
+}
+
+// SaveTo appends the injector's mutable state — armed flag, per-kind
+// injection counts, per-rule seen/fired counters and RNG positions — to a
+// snapshot under construction. Rules without a probability stream store
+// four zero words to keep the layout positional.
+func (in *Injector) SaveTo(w *snapshot.Writer) {
+	s := w.Section(snapSection)
+	s.Bool("armed", in.armed)
+	s.U64s("injected", in.injected[:])
+	seen := make([]uint64, len(in.rules))
+	fired := make([]uint64, len(in.rules))
+	rngs := make([]uint64, 0, len(in.rules)*4)
+	for i := range in.rules {
+		r := &in.rules[i]
+		seen[i] = r.seen
+		fired[i] = r.fired
+		var st [4]uint64
+		if r.rng != nil {
+			st = r.rng.State()
+		}
+		rngs = append(rngs, st[:]...)
+	}
+	s.U64s("seen", seen)
+	s.U64s("fired", fired)
+	s.U64s("rng", rngs)
+}
+
+// LoadFrom restores the injector from its section of a decoded snapshot.
+// The rule count must match the compiled plan.
+func (in *Injector) LoadFrom(snap *snapshot.Snapshot) error {
+	s := snap.Section(snapSection)
+	armed := s.Bool("armed")
+	injected := s.U64s("injected")
+	seen := s.U64s("seen")
+	fired := s.U64s("fired")
+	rngs := s.U64s("rng")
+	if s.Err() == nil {
+		switch {
+		case len(injected) != int(numKinds):
+			s.Reject("injected", "want %d kinds, got %d", numKinds, len(injected))
+		case len(seen) != len(in.rules):
+			s.Reject("seen", "want %d rules, got %d", len(in.rules), len(seen))
+		case len(fired) != len(in.rules):
+			s.Reject("fired", "want %d rules, got %d", len(in.rules), len(fired))
+		case len(rngs) != len(in.rules)*4:
+			s.Reject("rng", "want %d state words, got %d", len(in.rules)*4, len(rngs))
+		}
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	in.armed = armed
+	copy(in.injected[:], injected)
+	for i := range in.rules {
+		r := &in.rules[i]
+		r.seen = seen[i]
+		r.fired = fired[i]
+		if r.rng != nil {
+			r.rng.SetState([4]uint64{rngs[i*4], rngs[i*4+1], rngs[i*4+2], rngs[i*4+3]})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package guard
+
+import (
+	"fmt"
+	"sort"
+
+	"ftlhammer/internal/sim"
+	"ftlhammer/internal/snapshot"
+)
+
+// snapSection is the snapshot section owned by the guard.
+const snapSection = "guard"
+
+// ConfigString renders the guard's effective (default-resolved)
+// configuration for inclusion in the device config digest.
+func (g *Guard) ConfigString() string {
+	if g == nil {
+		return ""
+	}
+	return fmt.Sprintf("%+v", g.cfg)
+}
+
+// SaveTo appends the guard's per-namespace window state — window start,
+// per-row line counts, throttle deadline, violation count — to a snapshot
+// under construction, namespaces sorted by id and rows sorted by line.
+func (g *Guard) SaveTo(w *snapshot.Writer) {
+	s := w.Section(snapSection)
+	ids := make([]int, 0, len(g.ns))
+	for id := range g.ns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	nsID := make([]uint64, len(ids))
+	winStart := make([]uint64, len(ids))
+	thrTo := make([]uint64, len(ids))
+	viol := make([]uint64, len(ids))
+	lineN := make([]uint64, len(ids))
+	var lineKeys, lineVals []uint64
+	for i, id := range ids {
+		st := g.ns[id]
+		nsID[i] = uint64(id)
+		winStart[i] = uint64(st.windowStart)
+		thrTo[i] = uint64(st.throttledTo)
+		viol[i] = st.violations
+		lineN[i] = uint64(len(st.lineCounts))
+		keys := make([]uint64, 0, len(st.lineCounts))
+		for k := range st.lineCounts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			lineKeys = append(lineKeys, k)
+			lineVals = append(lineVals, st.lineCounts[k])
+		}
+	}
+	s.U64s("ns_id", nsID)
+	s.U64s("win_start", winStart)
+	s.U64s("thr_to", thrTo)
+	s.U64s("violations", viol)
+	s.U64s("line_n", lineN)
+	s.U64s("line_keys", lineKeys)
+	s.U64s("line_vals", lineVals)
+}
+
+// LoadFrom restores the guard from its section of a decoded snapshot,
+// replacing all per-namespace state.
+func (g *Guard) LoadFrom(snap *snapshot.Snapshot) error {
+	s := snap.Section(snapSection)
+	nsID := s.U64s("ns_id")
+	winStart := s.U64s("win_start")
+	thrTo := s.U64s("thr_to")
+	viol := s.U64s("violations")
+	lineN := s.U64s("line_n")
+	lineKeys := s.U64s("line_keys")
+	lineVals := s.U64s("line_vals")
+	if s.Err() == nil {
+		n := len(nsID)
+		if len(winStart) != n || len(thrTo) != n || len(viol) != n || len(lineN) != n {
+			s.Reject("ns_id", "namespace column lengths disagree")
+		} else if len(lineKeys) != len(lineVals) {
+			s.Reject("line_keys", "line column lengths disagree")
+		} else {
+			total := uint64(0)
+			for _, c := range lineN {
+				total += c
+			}
+			if total != uint64(len(lineKeys)) {
+				s.Reject("line_n", "line counts sum to %d but %d lines present", total, len(lineKeys))
+			}
+		}
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	g.ns = make(map[int]*nsState, len(nsID))
+	li := 0
+	for i, id := range nsID {
+		st := &nsState{
+			windowStart: sim.Time(winStart[i]),
+			throttledTo: sim.Time(thrTo[i]),
+			violations:  viol[i],
+			lineCounts:  make(map[uint64]uint64, lineN[i]),
+		}
+		for j := uint64(0); j < lineN[i]; j++ {
+			st.lineCounts[lineKeys[li]] = lineVals[li]
+			li++
+		}
+		g.ns[int(id)] = st
+	}
+	return nil
+}

@@ -119,13 +119,19 @@ type Device struct {
 	// maxBatch is the largest queue-pair doorbell batch serviced
 	// (nvme_queue_batch_max).
 	maxBatch int
+	// rec, when set, observes every command entering DoContext (the
+	// record half of record-replay; see SetRecorder).
+	rec func(CommandRecord)
 
 	// Robustness state (see robust.go). All zero when robustOn() is
 	// false, in which case commands take the exact pre-faults path.
-	rob         Robust
-	inj         *faults.Injector
-	retryRNG    *sim.RNG
-	retryHist   *obs.Histogram
+	rob      Robust
+	inj      *faults.Injector
+	retryRNG *sim.RNG
+	// retryDist counts completed commands by how many retries each took
+	// (simulation state, not a live metric handle: it survives checkpoint/
+	// restore and is projected into nvme_retries_per_command at Flush).
+	retryDist   map[int]uint64
 	readOnly    bool
 	mediaErrs   uint64
 	cleanStreak uint64
@@ -360,6 +366,20 @@ func (d *Device) DoContext(ctx context.Context, cmd Command) (Completion, error)
 	case OpRead, OpWrite, OpTrim:
 	default:
 		return c, fmt.Errorf("nvme: invalid opcode %d", cmd.Op)
+	}
+	if d.rec != nil {
+		cr := CommandRecord{
+			Tick:   uint64(d.clk.Now()),
+			Origin: cmd.Origin,
+			NSID:   ns.ID,
+			Op:     cmd.Op,
+			Path:   cmd.Path,
+			LBA:    cmd.LBA,
+		}
+		if cmd.Op == OpWrite {
+			cr.Data = append([]byte(nil), cmd.Buf...)
+		}
+		d.rec(cr)
 	}
 	g, err := d.global(ns, cmd.LBA)
 	if err != nil {

@@ -33,13 +33,14 @@ func init() {
 // virtual time — the paper's operating-point quantity (§4.1: ~1.4 M IOPS
 // on the direct path).
 func (d *Device) registerObs(r *obs.Registry) {
-	if d.robustOn() {
-		// Live handle: the retry-count distribution is observed per
-		// completed command with retries, directly on the hot path.
-		d.retryHist = r.Histogram("nvme_retries_per_command", obs.RetryBuckets)
-	}
 	r.OnFlush(func() {
 		if d.robustOn() {
+			// The retry-count distribution is simulation state (so it
+			// survives checkpoint/restore), projected here in one pass.
+			h := r.Histogram("nvme_retries_per_command", obs.RetryBuckets)
+			for retries := 1; retries <= d.rob.MaxRetries; retries++ {
+				h.ObserveN(float64(retries), d.retryDist[retries])
+			}
 			rs := d.rstats
 			r.Counter("nvme_retries_total").Add(rs.Retries)
 			r.Counter("nvme_timeouts_total").Add(rs.Timeouts)

@@ -48,6 +48,10 @@ type Command struct {
 	Buf []byte
 	// Tag is an opaque caller cookie echoed in the completion.
 	Tag uint64
+	// Origin identifies the submitting session in recorded command
+	// traces (the transport server sets it to the session id; zero for
+	// in-process callers). It does not affect execution.
+	Origin uint64
 }
 
 // Completion is one completion-queue entry.

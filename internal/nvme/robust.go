@@ -153,6 +153,19 @@ func (d *Device) noteMediaError() {
 	}
 }
 
+// noteRetries records how many retries a completed command took into the
+// state-held distribution (checkpointed with the device, projected into
+// the nvme_retries_per_command histogram at Flush — see registerObs).
+func (d *Device) noteRetries(retries int) {
+	if retries <= 0 {
+		return
+	}
+	if d.retryDist == nil {
+		d.retryDist = make(map[int]uint64)
+	}
+	d.retryDist[retries]++
+}
+
 // noteClean records one cleanly completed command and exits read-only
 // mode after the configured recovery streak.
 func (d *Device) noteClean() {
@@ -237,9 +250,7 @@ func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt fun
 			d.obs.Emit(uint64(d.clk.Now()), EvTimeout, int64(g), int64(op), int64(elapsed))
 		}
 		if err == nil && !timedOut {
-			if try > 1 {
-				d.retryHist.Observe(float64(try - 1))
-			}
+			d.noteRetries(try - 1)
 			d.noteClean()
 			return nil
 		}
@@ -250,9 +261,7 @@ func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt fun
 			return err
 		}
 		if try >= maxAttempts {
-			if try > 1 {
-				d.retryHist.Observe(float64(try - 1))
-			}
+			d.noteRetries(try - 1)
 			switch {
 			case dropped:
 				d.rstats.AbortedCmds++
@@ -268,9 +277,7 @@ func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt fun
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				// The caller is gone; abandon the remaining retry budget.
-				if try > 1 {
-					d.retryHist.Observe(float64(try - 1))
-				}
+				d.noteRetries(try - 1)
 				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, cerr, try)
 			}
 		}

@@ -105,6 +105,21 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 }
 
+// ObserveN records the value n times in one step, for projecting a
+// distribution kept as state (value → occurrence count) at Flush.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i] += n
+	h.count += n
+	h.sum += v * float64(n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

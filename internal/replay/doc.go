@@ -1,0 +1,16 @@
+// Package replay is the record half's counterpart: it re-executes
+// command traces captured at the nvme.Device.Do boundary and checks the
+// resulting simulation state.
+//
+// A trace is a JSONL stream — one header line identifying the schema,
+// then one Entry per admitted command (see docs/REPLAY.md for the wire
+// format). Recorder produces traces from a live device; ReadTrace parses
+// them back with typed errors; Run replays them against a fresh or
+// restored device; Verify additionally asserts the final state hash; and
+// Shrink delta-debugs a failing trace down to a minimal core.
+//
+// Because the simulation is deterministic, a trace replayed from the
+// same starting state (fresh device with equal ConfigDigest, or a
+// restored checkpoint) reproduces the original run exactly: the same
+// completions, the same error texts, the same final StateHash.
+package replay

@@ -1,0 +1,91 @@
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// corpusSeeds are the checked-in fuzz seeds: one well-formed trace and
+// the interesting malformed shapes. Regenerate with -update.
+func corpusSeeds() map[string][]byte {
+	head := `{"schema":"v1","format":"ftlhammer-cmdtrace"}` + "\n"
+	valid := head +
+		`{"t":5,"sess":2,"ns":1,"op":"write","path":"direct","lba":7,"data":"q6urqw=="}` + "\n" +
+		`{"t":9,"ns":1,"op":"read","path":"host-fs","lba":7}` + "\n" +
+		`{"t":12,"ns":2,"op":"trim","path":"direct","lba":3}` + "\n"
+	return map[string][]byte{
+		"valid.jsonl":      []byte(valid),
+		"headeronly.jsonl": []byte(head),
+		"badheader.jsonl":  []byte(`{"schema":"v9","format":"ftlhammer-cmdtrace"}` + "\n"),
+		"notjson.jsonl":    []byte("ftlhammer\n"),
+		"badentry.jsonl":   []byte(head + `{"op":"flush"}` + "\n"),
+		"empty.jsonl":      {},
+	}
+}
+
+const fuzzCorpusDir = "testdata/corpus"
+
+// TestTraceCorpusFiles keeps the checked-in corpus in sync with
+// corpusSeeds; run with -update to regenerate.
+func TestTraceCorpusFiles(t *testing.T) {
+	seeds := corpusSeeds()
+	if *updateGolden {
+		if err := os.MkdirAll(fuzzCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			if err := os.WriteFile(filepath.Join(fuzzCorpusDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name, want := range seeds {
+		got, err := os.ReadFile(filepath.Join(fuzzCorpusDir, name))
+		if err != nil {
+			t.Fatalf("stale corpus (run with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("corpus file %s is stale (run with -update)", name)
+		}
+	}
+}
+
+// FuzzReadTrace is the hostile-input contract for the trace parser: any
+// byte stream either parses or fails with a typed error — never a panic
+// — and whatever parses must survive a write/read round trip unchanged.
+func FuzzReadTrace(f *testing.F) {
+	for _, data := range corpusSeeds() {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			var he *HeaderError
+			var pe *ParseError
+			if !errors.As(err, &he) && !errors.As(err, &pe) &&
+				!errors.Is(err, bufio.ErrTooLong) {
+				t.Fatalf("untyped error %T: %v", err, err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, entries); err != nil {
+			t.Fatalf("re-encode of valid trace failed: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded trace failed: %v", err)
+		}
+		if len(entries) != 0 || len(again) != 0 {
+			if !reflect.DeepEqual(entries, again) {
+				t.Fatalf("round trip diverged:\nfirst  %+v\nsecond %+v", entries, again)
+			}
+		}
+	})
+}

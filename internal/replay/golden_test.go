@@ -1,0 +1,288 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/faults"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/guard"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden traces and fuzz corpus")
+
+// goldenScenario pairs a deterministic device configuration with a
+// deterministic workload. The checked-in trace plus its expected state
+// hash pin the simulation's end-to-end behavior: any change to command
+// semantics, timing, fault arithmetic or RNG consumption shows up as a
+// hash mismatch on replay.
+type goldenScenario struct {
+	name  string
+	build func(t *testing.T) *nvme.Device
+	drive func(t *testing.T, dev *nvme.Device)
+}
+
+func goldenScenarios() []goldenScenario {
+	return []goldenScenario{
+		{
+			// Two tenants sharing a clean device: pure FTL/DRAM/NAND
+			// behavior, both submission paths, no faults.
+			name: "uniform-two-tenant",
+			build: func(t *testing.T) *nvme.Device {
+				return goldenDevice(t, goldenCfg{seed: 101, tenants: 2})
+			},
+			drive: func(t *testing.T, dev *nvme.Device) {
+				rng := sim.NewRNG(0xA11CE)
+				for i := 0; i < 160; i++ {
+					ns := dev.Namespaces()[i%2]
+					path := nvme.PathDirect
+					if i%2 == 1 {
+						path = nvme.PathHostFS
+					}
+					goldenOp(t, dev, ns, path, rng, i)
+				}
+			},
+		},
+		{
+			// Hammer-style reads with deterministic fault injection and
+			// the robustness layer armed: retries, timeouts and dropped
+			// completions all execute on the recorded path.
+			name: "hammer-faults",
+			build: func(t *testing.T) *nvme.Device {
+				return goldenDevice(t, goldenCfg{seed: 202, tenants: 1, hammer: true, faulty: true})
+			},
+			drive: func(t *testing.T, dev *nvme.Device) {
+				rng := sim.NewRNG(0xB0B)
+				ns := dev.Namespaces()[0]
+				for i := 0; i < 160; i++ {
+					if i%5 == 4 {
+						goldenOp(t, dev, ns, nvme.PathDirect, rng, i)
+						continue
+					}
+					// Aggressor reads concentrated on a tiny LBA set.
+					buf := make([]byte, dev.BlockBytes())
+					doGolden(t, dev, nvme.Command{
+						Op: nvme.OpRead, NS: ns, Path: nvme.PathDirect,
+						LBA: ftl.LBA(rng.Uint64n(4)), Buf: buf,
+					})
+				}
+			},
+		},
+		{
+			// The guard mitigation throttling a hammering namespace.
+			name: "guard-mitigation",
+			build: func(t *testing.T) *nvme.Device {
+				return goldenDevice(t, goldenCfg{seed: 303, tenants: 2, hammer: true, guarded: true})
+			},
+			drive: func(t *testing.T, dev *nvme.Device) {
+				rng := sim.NewRNG(0xCAFE)
+				attacker, victim := dev.Namespaces()[0], dev.Namespaces()[1]
+				for i := 0; i < 160; i++ {
+					if i%4 == 3 {
+						goldenOp(t, dev, victim, nvme.PathHostFS, rng, i)
+						continue
+					}
+					buf := make([]byte, dev.BlockBytes())
+					doGolden(t, dev, nvme.Command{
+						Op: nvme.OpRead, NS: attacker, Path: nvme.PathDirect,
+						LBA: ftl.LBA(rng.Uint64n(2)), Buf: buf,
+					})
+				}
+			},
+		},
+	}
+}
+
+type goldenCfg struct {
+	seed    uint64
+	tenants int
+	hammer  bool // aggressive hammer multiplier + vulnerable profile
+	faulty  bool // deterministic fault plan + robustness
+	guarded bool // guard with enforcement
+}
+
+func goldenDevice(t *testing.T, cfg goldenCfg) *nvme.Device {
+	t.Helper()
+	world := sim.NewWorld(cfg.seed)
+	profile := dram.InvulnerableProfile()
+	hammers := 0
+	if cfg.hammer {
+		profile = dram.TestbedProfile()
+		hammers = 5
+	}
+	var inj *faults.Injector
+	dcfg := nvme.Config{}
+	if cfg.faulty {
+		inj = faults.New(faults.Plan{Rules: []faults.Rule{
+			{Kind: faults.KindNANDRead, Every: 17},
+			{Kind: faults.KindDropCompletion, Every: 41},
+		}}, world)
+		dcfg = nvme.Config{Robust: nvme.DefaultRobust(), Faults: inj}
+	}
+	mem := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile:  profile,
+		ECC:      true,
+		Seed:     cfg.seed,
+	}, world)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency(), nand.WithFaults(inj))
+	f, err := ftl.New(ftl.Config{
+		NumLBAs:      flash.Geometry().TotalPages() * 3 / 4,
+		HammersPerIO: hammers,
+	}, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		f.SetFaults(inj)
+	}
+	dev := nvme.New(dcfg, f, mem, flash, world)
+	per := f.NumLBAs() / uint64(cfg.tenants)
+	for i := 0; i < cfg.tenants; i++ {
+		if _, err := dev.AddNamespace(per, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.guarded {
+		dev.AttachGuard(guard.New(guard.Config{RowThreshold: 32, Enforce: true}))
+	}
+	return dev
+}
+
+// goldenOp issues one mixed workload command (write-leaning, with
+// periodic trims and out-of-range probes).
+func goldenOp(t *testing.T, dev *nvme.Device, ns *nvme.Namespace, path nvme.Path, rng *sim.RNG, i int) {
+	t.Helper()
+	cmd := nvme.Command{NS: ns, Path: path}
+	switch r := rng.Intn(10); {
+	case r < 4:
+		cmd.Op = nvme.OpRead
+		cmd.LBA = ftl.LBA(rng.Uint64n(ns.NumLBAs))
+		cmd.Buf = make([]byte, dev.BlockBytes())
+	case r < 8:
+		cmd.Op = nvme.OpWrite
+		cmd.LBA = ftl.LBA(rng.Uint64n(ns.NumLBAs))
+		cmd.Buf = bytes.Repeat([]byte{byte(i + 1)}, dev.BlockBytes())
+	default:
+		cmd.Op = nvme.OpTrim
+		cmd.LBA = ftl.LBA(rng.Uint64n(ns.NumLBAs))
+	}
+	if i%37 == 36 {
+		cmd.LBA = ftl.LBA(ns.NumLBAs) // out of range: recorded and replayed
+	}
+	doGolden(t, dev, cmd)
+}
+
+func doGolden(t *testing.T, dev *nvme.Device, cmd nvme.Command) {
+	t.Helper()
+	if _, err := dev.Do(cmd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".jsonl")
+}
+
+const manifestPath = "testdata/golden/manifest.json"
+
+func readManifest(t *testing.T) map[string]string {
+	t.Helper()
+	b, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("read manifest (run with -update to regenerate): %v", err)
+	}
+	m := make(map[string]string)
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGoldenReplay is the golden-replay gate run in CI: each checked-in
+// trace is replayed against a freshly built device and the final state
+// hash must match the manifest. Run with -update after an intentional
+// behavior change to re-record traces and hashes.
+func TestGoldenReplay(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(manifestPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		manifest := make(map[string]string)
+		for _, sc := range goldenScenarios() {
+			dev := sc.build(t)
+			var buf bytes.Buffer
+			rec := NewRecorder(&buf)
+			rec.Attach(dev)
+			sc.drive(t, dev)
+			dev.SetRecorder(nil)
+			if err := rec.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath(sc.name), buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			manifest[sc.name] = fmt.Sprintf("%#x", dev.StateHash())
+		}
+		b, err := json.MarshalIndent(manifest, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manifestPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %d golden traces", len(manifest))
+		return
+	}
+
+	manifest := readManifest(t)
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			wantHex, ok := manifest[sc.name]
+			if !ok {
+				t.Fatalf("scenario %q missing from manifest (run with -update)", sc.name)
+			}
+			want, err := strconv.ParseUint(wantHex, 0, 64)
+			if err != nil {
+				t.Fatalf("bad manifest hash %q: %v", wantHex, err)
+			}
+			f, err := os.Open(goldenPath(sc.name))
+			if err != nil {
+				t.Fatalf("open golden trace (run with -update to regenerate): %v", err)
+			}
+			defer f.Close()
+			entries, err := ReadTrace(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) == 0 {
+				t.Fatal("golden trace is empty")
+			}
+			if _, err := Verify(sc.build(t), entries, want); err != nil {
+				t.Fatalf("golden replay diverged: %v", err)
+			}
+		})
+	}
+	for name := range manifest {
+		found := false
+		for _, sc := range goldenScenarios() {
+			if sc.name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest entry %q has no scenario", name)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package replay
+
+import (
+	"fmt"
+
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
+)
+
+// Trace event kinds emitted by replay runs (documented in
+// docs/METRICS.md and docs/REPLAY.md).
+const (
+	// EvReplayRun is one completed replay: commands executed, commands
+	// that completed with an error, the final state hash (as int64 bits).
+	EvReplayRun = "replay.run"
+	// EvReplayVerify is one hash verification after a replay: whether it
+	// matched (1/0), the observed hash, the expected hash (as int64
+	// bits).
+	EvReplayVerify = "replay.verify"
+)
+
+func init() {
+	obs.RegisterEventKind(EvReplayRun, "commands", "failed", "state_hash")
+	obs.RegisterEventKind(EvReplayVerify, "ok", "got_hash", "want_hash")
+}
+
+// Result summarizes one replay run.
+type Result struct {
+	// Commands is the number of trace entries executed.
+	Commands int
+	// Errors holds one completion-error text per command, "" for clean
+	// completions — the observable outcome stream a differential test
+	// compares.
+	Errors []string
+	// Failed counts the non-"" entries of Errors.
+	Failed int
+	// StateHash is the device's state fingerprint after the last
+	// command.
+	StateHash uint64
+}
+
+// EntryError reports a trace entry that cannot be turned into a command
+// for the target device — unknown namespace, wrong payload size. It
+// means trace and device do not match; it is not a command failure
+// (those complete and land in Result.Errors).
+type EntryError struct {
+	Index int // 0-based entry position
+	Msg   string
+}
+
+func (e *EntryError) Error() string {
+	return fmt.Sprintf("replay: entry %d: %s", e.Index, e.Msg)
+}
+
+// HashMismatchError reports a verified replay whose final state hash
+// differs from the expected one.
+type HashMismatchError struct{ Got, Want uint64 }
+
+func (e *HashMismatchError) Error() string {
+	return fmt.Sprintf("replay: state hash %#x, want %#x", e.Got, e.Want)
+}
+
+// Run re-executes a trace against dev, which must be in the trace's
+// starting state: freshly built with the recording device's
+// ConfigDigest, or restored from a checkpoint taken at the recording's
+// start. Commands execute in order through the same Do path the
+// originals took; completions with errors are captured, not fatal.
+// A *EntryError aborts the run at the offending entry.
+func Run(dev *nvme.Device, entries []Entry) (*Result, error) {
+	res := &Result{Errors: make([]string, 0, len(entries))}
+	for i, e := range entries {
+		cmd, err := e.command(dev, uint64(i))
+		if err != nil {
+			return nil, &EntryError{Index: i, Msg: err.Error()}
+		}
+		comp, err := dev.Do(cmd)
+		if err != nil {
+			// Submission-level rejection surfaces as the completion
+			// status, exactly as QueuePair.Ring treats it.
+			comp.Err = err
+		}
+		res.Commands++
+		if comp.Err != nil {
+			res.Errors = append(res.Errors, comp.Err.Error())
+			res.Failed++
+		} else {
+			res.Errors = append(res.Errors, "")
+		}
+	}
+	res.StateHash = dev.StateHash()
+	reg := dev.World().Obs
+	reg.CounterAdd("replay_runs_total", 1)
+	reg.CounterAdd("replay_commands_total", uint64(res.Commands))
+	reg.CounterAdd("replay_failed_total", uint64(res.Failed))
+	reg.Emit(uint64(dev.Clock().Now()), EvReplayRun,
+		int64(res.Commands), int64(res.Failed), int64(res.StateHash))
+	return res, nil
+}
+
+// Verify replays the trace and asserts the final state hash equals want,
+// returning *HashMismatchError (alongside the full Result, for
+// diagnosis) when it does not. This is the golden-replay gate: a checked
+// -in trace plus its expected hash pins the simulation's behavior.
+func Verify(dev *nvme.Device, entries []Entry, want uint64) (*Result, error) {
+	res, err := Run(dev, entries)
+	if err != nil {
+		return nil, err
+	}
+	reg := dev.World().Obs
+	ok := int64(0)
+	if res.StateHash == want {
+		ok = 1
+	}
+	reg.Emit(uint64(dev.Clock().Now()), EvReplayVerify,
+		ok, int64(res.StateHash), int64(want))
+	if res.StateHash != want {
+		return res, &HashMismatchError{Got: res.StateHash, Want: want}
+	}
+	return res, nil
+}

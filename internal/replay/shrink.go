@@ -1,0 +1,56 @@
+package replay
+
+// Shrink reduces a failing trace to a smaller one that still fails,
+// using complement-based delta debugging (Zeller's ddmin). failing must
+// be a pure predicate: given a candidate subsequence of entries, it
+// re-runs whatever check the full trace fails (typically: build a fresh
+// device, Run the candidate, test for the symptom) and reports whether
+// the failure reproduces. Entries keep their relative order; the result
+// is 1-minimal — removing any single remaining entry makes the failure
+// vanish.
+//
+// If the full trace does not fail the predicate, Shrink returns it
+// unchanged: there is nothing to reduce toward.
+//
+// Shrink is deterministic — same entries and same predicate behavior
+// give the same minimal core, regardless of environment or parallelism.
+func Shrink(entries []Entry, failing func([]Entry) bool) []Entry {
+	if len(entries) == 0 || !failing(entries) {
+		return entries
+	}
+	cur := entries
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			// Try the complement: the trace with this chunk removed.
+			cand := make([]Entry, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && failing(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(cur) {
+			break // granularity is single entries: 1-minimal
+		}
+		n *= 2
+		if n > len(cur) {
+			n = len(cur)
+		}
+	}
+	return cur
+}

@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"ftlhammer/internal/sim"
+)
+
+// syntheticTrace builds a 10 000-command trace with a 3-command failure
+// core — write LBA 77, then trim LBA 78, then read LBA 79, in that order
+// but scattered among filler — planted at the given positions.
+func syntheticTrace(t *testing.T, n int, core [3]int) []Entry {
+	t.Helper()
+	if !(core[0] < core[1] && core[1] < core[2] && core[2] < n) {
+		t.Fatalf("core positions %v must be ascending and < %d", core, n)
+	}
+	rng := sim.NewRNG(0xC0DE)
+	entries := make([]Entry, n)
+	for i := range entries {
+		// Filler avoids the three core LBAs entirely so the predicate
+		// can only be satisfied by the planted commands.
+		entries[i] = Entry{
+			Tick: uint64(i),
+			NSID: 1,
+			Op:   [...]string{"read", "write", "trim"}[rng.Intn(3)],
+			Path: "direct",
+			LBA:  rng.Uint64n(64),
+		}
+	}
+	entries[core[0]] = Entry{Tick: uint64(core[0]), NSID: 1, Op: "write", Path: "direct", LBA: 77}
+	entries[core[1]] = Entry{Tick: uint64(core[1]), NSID: 1, Op: "trim", Path: "direct", LBA: 78}
+	entries[core[2]] = Entry{Tick: uint64(core[2]), NSID: 1, Op: "read", Path: "direct", LBA: 79}
+	return entries
+}
+
+// failsWithCore reports whether the trace still contains the ordered
+// subsequence write 77 → trim 78 → read 79. It stands in for "replaying
+// this trace reproduces the bug".
+func failsWithCore(entries []Entry) bool {
+	stage := 0
+	steps := [3]Entry{
+		{Op: "write", LBA: 77},
+		{Op: "trim", LBA: 78},
+		{Op: "read", LBA: 79},
+	}
+	for _, e := range entries {
+		if stage < 3 && e.Op == steps[stage].Op && e.LBA == steps[stage].LBA {
+			stage++
+		}
+	}
+	return stage == 3
+}
+
+// TestShrinkFindsMinimalCore is the delta-debugging property: a 10k
+// trace with a 3-command failing subsequence shrinks to exactly those 3
+// commands (the issue's bound is ≤ 8), wherever the core is planted, and
+// deterministically — the same input shrinks to the same core every
+// time, including under parallel subtests.
+func TestShrinkFindsMinimalCore(t *testing.T) {
+	const n = 10_000
+	wantCore := func(core [3]int) []Entry {
+		return []Entry{
+			{Tick: uint64(core[0]), NSID: 1, Op: "write", Path: "direct", LBA: 77},
+			{Tick: uint64(core[1]), NSID: 1, Op: "trim", Path: "direct", LBA: 78},
+			{Tick: uint64(core[2]), NSID: 1, Op: "read", Path: "direct", LBA: 79},
+		}
+	}
+	for name, core := range map[string][3]int{
+		"spread":   {1_234, 5_678, 9_012},
+		"clumped":  {4_000, 4_001, 4_002},
+		"edges":    {0, 5_000, 9_999},
+		"tail":     {9_990, 9_995, 9_999},
+		"headward": {1, 2, 7_500},
+	} {
+		core := core
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			entries := syntheticTrace(t, n, core)
+			got := Shrink(entries, failsWithCore)
+			if len(got) > 8 {
+				t.Fatalf("shrunk to %d commands, want <= 8", len(got))
+			}
+			if !reflect.DeepEqual(got, wantCore(core)) {
+				t.Errorf("minimal core = %+v, want %+v", got, wantCore(core))
+			}
+			// Determinism: a second run over the same input must land on
+			// the identical core.
+			again := Shrink(syntheticTrace(t, n, core), failsWithCore)
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("shrink is not deterministic:\nfirst  %+v\nsecond %+v", got, again)
+			}
+		})
+	}
+}
+
+func TestShrinkReturnsInputWhenNotFailing(t *testing.T) {
+	entries := syntheticTrace(t, 100, [3]int{10, 20, 30})
+	got := Shrink(entries, func([]Entry) bool { return false })
+	if !reflect.DeepEqual(got, entries) {
+		t.Error("non-failing trace was modified")
+	}
+	if Shrink(nil, failsWithCore) != nil {
+		t.Error("empty trace should shrink to itself")
+	}
+}
+
+// TestShrinkIsOneMinimal verifies 1-minimality directly on the result:
+// dropping any single command from the shrunk trace stops it failing.
+func TestShrinkIsOneMinimal(t *testing.T) {
+	entries := syntheticTrace(t, 2_000, [3]int{100, 900, 1_500})
+	got := Shrink(entries, failsWithCore)
+	if !failsWithCore(got) {
+		t.Fatal("shrunk trace no longer fails")
+	}
+	for i := range got {
+		cand := append(append([]Entry(nil), got[:i]...), got[i+1:]...)
+		if failsWithCore(cand) {
+			t.Errorf("dropping command %d still fails: not 1-minimal", i)
+		}
+	}
+}

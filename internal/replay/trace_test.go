@@ -1,0 +1,230 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nand"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/sim"
+)
+
+// traceDevice builds a small deterministic device for trace tests.
+func traceDevice(t *testing.T, seed uint64) *nvme.Device {
+	t.Helper()
+	world := sim.NewWorld(seed)
+	mem := dram.New(dram.Config{
+		Geometry: dram.SmallGeometry(),
+		Profile:  dram.InvulnerableProfile(),
+		Seed:     seed,
+	}, world)
+	flash := nand.New(nand.TinyGeometry(), nand.DefaultLatency())
+	f, err := ftl.New(ftl.Config{NumLBAs: flash.Geometry().TotalPages() * 3 / 4}, mem, flash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := nvme.New(nvme.Config{}, f, mem, flash, world)
+	if _, err := dev.AddNamespace(f.NumLBAs(), 0); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Tick: 10, Session: 3, NSID: 1, Op: "write", Path: "direct", LBA: 7, Data: bytes.Repeat([]byte{0xAB}, 16)},
+		{Tick: 20, NSID: 1, Op: "read", Path: "host-fs", LBA: 7},
+		{Tick: 30, Session: 1, NSID: 2, Op: "trim", Path: "direct", LBA: 99},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, got) {
+		t.Errorf("round trip: got %+v, want %+v", got, entries)
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":"v1","format":"ftlhammer-cmdtrace"}`) {
+		t.Errorf("trace does not start with the v1 header: %q", buf.String()[:60])
+	}
+}
+
+func TestReadTraceEmptyIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace parsed to %d entries", len(got))
+	}
+}
+
+func TestReadTraceHeaderErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":        "",
+		"not json":     "hello\n",
+		"wrong format": `{"schema":"v1","format":"other"}` + "\n",
+		"wrong schema": `{"schema":"v999","format":"ftlhammer-cmdtrace"}` + "\n",
+		"missing both": "{}\n",
+		"entry first":  `{"t":1,"ns":1,"op":"read","path":"direct","lba":0}` + "\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			var he *HeaderError
+			if _, err := ReadTrace(strings.NewReader(in)); !errors.As(err, &he) {
+				t.Errorf("ReadTrace(%q) err = %v, want HeaderError", in, err)
+			}
+		})
+	}
+}
+
+func TestReadTraceParseErrors(t *testing.T) {
+	head := `{"schema":"v1","format":"ftlhammer-cmdtrace"}` + "\n"
+	for name, tc := range map[string]struct {
+		body string
+		line int
+	}{
+		"bad json":      {"{not json}\n", 2},
+		"unknown op":    {`{"t":1,"ns":1,"op":"flush","path":"direct","lba":0}` + "\n", 2},
+		"unknown path":  {`{"t":1,"ns":1,"op":"read","path":"pcie","lba":0}` + "\n", 2},
+		"unknown field": {`{"t":1,"ns":1,"op":"read","path":"direct","lba":0,"x":1}` + "\n", 2},
+		"data on read":  {`{"t":1,"ns":1,"op":"read","path":"direct","lba":0,"data":"qg=="}` + "\n", 2},
+		"second bad":    {`{"t":1,"ns":1,"op":"read","path":"direct","lba":0}` + "\nwat\n", 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var pe *ParseError
+			if _, err := ReadTrace(strings.NewReader(head + tc.body)); !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want ParseError", err)
+			} else if pe.Line != tc.line {
+				t.Errorf("ParseError.Line = %d, want %d", pe.Line, tc.line)
+			}
+		})
+	}
+}
+
+// TestRecorderCapturesDeviceCommands exercises the full record loop: a
+// recorder attached to a live device captures exactly the commands the
+// device admits, and the trace replays on a fresh twin to the same
+// state hash and completion errors.
+func TestRecorderCapturesDeviceCommands(t *testing.T) {
+	dev := traceDevice(t, 42)
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Attach(dev)
+
+	ns := dev.Namespaces()[0]
+	rng := sim.NewRNG(7)
+	var wantErrs []string
+	nOps := 64
+	for i := 0; i < nOps; i++ {
+		cmd := nvme.Command{NS: ns, Path: nvme.PathDirect, Origin: uint64(1 + i%2)}
+		switch r := rng.Intn(3); r {
+		case 0:
+			cmd.Op = nvme.OpRead
+			cmd.LBA = ftl.LBA(rng.Uint64n(8))
+			cmd.Buf = make([]byte, dev.BlockBytes())
+		case 1:
+			cmd.Op = nvme.OpWrite
+			cmd.LBA = ftl.LBA(rng.Uint64n(ns.NumLBAs))
+			cmd.Buf = bytes.Repeat([]byte{byte(i)}, dev.BlockBytes())
+		default:
+			cmd.Op = nvme.OpTrim
+			cmd.LBA = ftl.LBA(rng.Uint64n(ns.NumLBAs))
+		}
+		if i%17 == 16 {
+			cmd.LBA = ftl.LBA(ns.NumLBAs) // out of range, still recorded
+		}
+		comp, err := dev.Do(cmd)
+		if err != nil {
+			comp.Err = err
+		}
+		if comp.Err != nil {
+			wantErrs = append(wantErrs, comp.Err.Error())
+		} else {
+			wantErrs = append(wantErrs, "")
+		}
+	}
+	dev.SetRecorder(nil)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() != nOps {
+		t.Fatalf("recorded %d commands, want %d", rec.Count(), nOps)
+	}
+
+	entries, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != nOps {
+		t.Fatalf("trace has %d entries, want %d", len(entries), nOps)
+	}
+	twin := traceDevice(t, 42)
+	res, err := Run(twin, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StateHash != dev.StateHash() {
+		t.Errorf("replayed state hash %#x != recorded device %#x", res.StateHash, dev.StateHash())
+	}
+	if !reflect.DeepEqual(res.Errors, wantErrs) {
+		t.Errorf("completion errors diverge:\nreplay %v\nlive   %v", res.Errors, wantErrs)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	dev := traceDevice(t, 5)
+	ns := dev.Namespaces()[0]
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Attach(dev)
+	for i := 0; i < 8; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, dev.BlockBytes())
+		if _, err := dev.Do(nvme.Command{Op: nvme.OpWrite, NS: ns, LBA: ftl.LBA(i), Buf: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.SetRecorder(nil)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := dev.StateHash()
+	entries, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Verify(traceDevice(t, 5), entries, want); err != nil {
+		t.Errorf("Verify with correct hash: %v", err)
+	}
+	var hm *HashMismatchError
+	res, err := Verify(traceDevice(t, 5), entries, want^1)
+	if !errors.As(err, &hm) {
+		t.Fatalf("Verify with wrong hash err = %v, want HashMismatchError", err)
+	}
+	if hm.Got != want || res == nil || res.StateHash != want {
+		t.Errorf("mismatch reports got %#x (result %+v), want %#x", hm.Got, res, want)
+	}
+}
+
+func TestRunRejectsForeignTrace(t *testing.T) {
+	dev := traceDevice(t, 5)
+	var ee *EntryError
+	if _, err := Run(dev, []Entry{{NSID: 99, Op: "read", Path: "direct"}}); !errors.As(err, &ee) {
+		t.Errorf("unknown namespace err = %v, want EntryError", err)
+	}
+	if _, err := Run(dev, []Entry{{NSID: 1, Op: "write", Path: "direct", Data: []byte{1}}}); !errors.As(err, &ee) {
+		t.Errorf("short write payload err = %v, want EntryError", err)
+	}
+}

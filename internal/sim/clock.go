@@ -110,3 +110,12 @@ func (c *Clock) AdvanceTo(t Time) {
 // Reset rewinds the clock to zero. Intended for reusing a simulation
 // harness across benchmark iterations.
 func (c *Clock) Reset() { c.now = 0 }
+
+// Restore sets the clock to an absolute time, backwards moves included.
+// It exists solely for snapshot restoration (a freshly built device's
+// clock starts at zero and jumps to the checkpointed instant); simulation
+// code must use Advance/AdvanceTo, which enforce monotonicity.
+func (c *Clock) Restore(t Time) {
+	c.check()
+	c.now = t
+}

@@ -133,3 +133,18 @@ func (r *RNG) LogNormalish(sigma float64) float64 {
 	}
 	return math.Exp(x)
 }
+
+// State returns the generator's current internal state, for inclusion in
+// snapshots. Restoring it with SetState resumes the exact stream.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState replaces the generator's internal state with one previously
+// obtained from State. The all-zero state is a xoshiro fixed point that
+// seeding can never produce; it is normalized to NewRNG(0) so a corrupt
+// snapshot cannot wedge the generator.
+func (r *RNG) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		s = NewRNG(0).s
+	}
+	r.s = s
+}

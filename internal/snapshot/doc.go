@@ -1,0 +1,16 @@
+// Package snapshot implements the versioned, self-describing binary
+// container every checkpoint in the simulator is written in (format spec:
+// docs/REPLAY.md). A snapshot is a flat list of named sections, each a
+// flat list of named, type-tagged fields; the stateful packages (dram,
+// nand, ftl, nvme, faults, guard) each own one section and encode their
+// state with the Writer, and nvme.Device.Checkpoint composes them into a
+// single stream.
+//
+// The codec is deliberately dependency-free (standard library only) so it
+// sits below every simulation package in the import graph, and the decoder
+// is hardened for hostile input: Decode bounds-checks every length against
+// the remaining input before allocating, never panics, and reports
+// malformed data through the typed errors ErrBadMagic, *VersionError and
+// *FormatError. Section getters are sticky-error: read every field first,
+// then check Err() once.
+package snapshot

@@ -1,0 +1,79 @@
+package snapshot
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// JSON export shapes. 64-bit integers are rendered as decimal strings so
+// the export survives tools that parse JSON numbers as float64; byte
+// blobs are base64.
+type jsonSnapshot struct {
+	Format   string        `json:"format"`
+	Version  uint16        `json:"version"`
+	Sections []jsonSection `json:"sections"`
+}
+
+type jsonSection struct {
+	Name   string      `json:"name"`
+	Fields []jsonField `json:"fields"`
+}
+
+type jsonField struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+	Value any    `json:"value"`
+}
+
+// WriteJSON renders the decoded snapshot as indented JSON for diffing two
+// checkpoints field by field (cmd/ftlreplay -export-json). The output is
+// deterministic: sections and fields appear in stream order.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	out := jsonSnapshot{Format: "ftlhammer-snapshot", Version: s.Version}
+	for _, sec := range s.secs {
+		js := jsonSection{Name: sec.name, Fields: make([]jsonField, 0, len(sec.fields))}
+		for i := range sec.fields {
+			f := &sec.fields[i]
+			js.Fields = append(js.Fields, jsonField{
+				Name:  f.name,
+				Type:  typeName(f.tag),
+				Value: jsonValue(f),
+			})
+		}
+		out.Sections = append(out.Sections, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func jsonValue(f *field) any {
+	switch f.tag {
+	case tagU64:
+		return strconv.FormatUint(f.u, 10)
+	case tagI64:
+		return strconv.FormatInt(int64(f.u), 10)
+	case tagF64:
+		// Render by bit pattern: exact, and safe for NaN/Inf (which plain
+		// JSON numbers cannot carry).
+		return "0x" + strconv.FormatUint(f.u, 16)
+	case tagBool:
+		return f.u == 1
+	case tagBytes:
+		return base64.StdEncoding.EncodeToString(f.b)
+	case tagString:
+		return string(f.b)
+	case tagU64s:
+		vs := make([]string, len(f.u64s))
+		for i, v := range f.u64s {
+			vs[i] = strconv.FormatUint(v, 10)
+		}
+		return vs
+	case tagU32s:
+		return f.u32s
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,84 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FormatVersion is the current snapshot container version. Bump it on any
+// incompatible layout change and document the bump in docs/REPLAY.md (the
+// doc lint enforces this); the decoder rejects every other version with a
+// *VersionError.
+const FormatVersion = 1
+
+// magic opens every snapshot stream.
+var magic = [8]byte{'F', 'T', 'L', 'S', 'N', 'A', 'P', 0}
+
+// Field type tags. The tag travels with every field, which is what makes
+// the format self-describing: a decoder that knows nothing about the
+// producer can still walk the tree and export it as JSON.
+const (
+	tagU64    = 1 // uint64, 8 bytes little-endian
+	tagI64    = 2 // int64, two's complement, 8 bytes little-endian
+	tagF64    = 3 // float64, IEEE-754 bits, 8 bytes little-endian
+	tagBool   = 4 // 1 byte, 0 or 1
+	tagBytes  = 5 // u32 length + raw bytes
+	tagString = 6 // u32 length + UTF-8 bytes
+	tagU64s   = 7 // u32 count + count*8 bytes
+	tagU32s   = 8 // u32 count + count*4 bytes
+)
+
+// ErrBadMagic reports input that is not a snapshot stream at all.
+var ErrBadMagic = errors.New("snapshot: bad magic (not a snapshot stream)")
+
+// VersionError reports a snapshot written by an incompatible format
+// version. Callers distinguish it from corruption with errors.As.
+type VersionError struct {
+	Got uint16
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: format version %d (this build reads version %d)", e.Got, FormatVersion)
+}
+
+// FormatError reports structurally malformed or semantically invalid
+// snapshot content: truncation, a missing section or field, a field read
+// with the wrong type, or a value a loader rejected. Section and Field
+// locate the failure; either may be empty.
+type FormatError struct {
+	Section string
+	Field   string
+	Msg     string
+}
+
+func (e *FormatError) Error() string {
+	switch {
+	case e.Section == "" && e.Field == "":
+		return "snapshot: " + e.Msg
+	case e.Field == "":
+		return fmt.Sprintf("snapshot: section %q: %s", e.Section, e.Msg)
+	default:
+		return fmt.Sprintf("snapshot: section %q field %q: %s", e.Section, e.Field, e.Msg)
+	}
+}
+
+// Errf builds a *FormatError; loaders use it to reject values that decode
+// cleanly but are out of range for the restoring object.
+func Errf(section, field, format string, args ...any) error {
+	return &FormatError{Section: section, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Hash returns the FNV-1a 64-bit hash of data. Two snapshots of the same
+// device state hash identically, so this is the state fingerprint the
+// replay verifier and the golden-replay CI gate compare.
+func Hash(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}

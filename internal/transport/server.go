@@ -359,9 +359,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		cmds := make([]nvme.Command, len(wcmds))
 		for i, wc := range wcmds {
 			cmds[i] = nvme.Command{
-				Op:  nvme.Opcode(wc.Op),
-				LBA: lbaOf(wc.LBA),
-				Tag: wc.Tag,
+				Op:     nvme.Opcode(wc.Op),
+				LBA:    lbaOf(wc.LBA),
+				Tag:    wc.Tag,
+				Origin: uint64(se.id),
 			}
 			if cmds[i].Op == nvme.OpWrite {
 				cmds[i].Buf = wc.Data
