@@ -1,13 +1,25 @@
-// Command benchjson measures the parallel trial engine and emits a
-// machine-readable report. For each trial-heavy experiment it runs quick
-// mode once with a single worker and once with the full pool, then writes
-// ns/op for both plus the wall-clock speedup to a JSON file (default
-// BENCH_parallel.json) that CI or tooling can diff.
+// Command benchjson captures the repo's performance baseline and emits a
+// machine-readable report (default BENCH_parallel.json). A report has
+// three sections plus a provenance header:
+//
+//   - hotpath: ns/op and allocs/op for the canonical internal/perf
+//     benchmark set (DoContextRead, ServerBatch, DRAMBatch, ...)
+//   - aggregate_iops: wall-clock simulated commands/sec with 1, 4, and 8
+//     independent workers (each its own device and world)
+//   - results: per-experiment serial vs parallel trial-engine wall clock
+//
+// The header records go_version, gomaxprocs, num_cpu, and git_sha so a
+// checked-in report can be audited. Because a "parallel" capture taken
+// at GOMAXPROCS=1 measures nothing, benchjson refuses to run one unless
+// -allow-serial is set; and when GOMAXPROCS exceeds the machine's real
+// CPU count (so parallel numbers reflect oversubscription, not real
+// cores) the report is stamped "degraded": true.
 //
 // Usage:
 //
-//	benchjson                       # all engine-backed experiments
-//	benchjson -exp table1,prob      # a subset
+//	benchjson                       # full capture
+//	benchjson -exp table1,prob      # subset of engine experiments
+//	benchjson -exp ''               # hotpath + IOPS only
 //	benchjson -reps 3 -out out.json # best-of-3, custom path
 package main
 
@@ -17,11 +29,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"ftlhammer/internal/experiments"
+	"ftlhammer/internal/perf"
 )
 
 // engineExperiments are the experiments whose runtime is dominated by
@@ -29,7 +44,28 @@ import (
 // wall-clock speedup.
 var engineExperiments = []string{"table1", "prob", "calib", "ttl", "mitig", "ablations"}
 
-// result is one experiment's measurement.
+// opsPerWorker sizes the aggregate-IOPS probe: large enough that worker
+// startup and device warm-up are noise, small enough to finish in
+// seconds per worker count.
+const opsPerWorker = 200_000
+
+// hotpath is one micro-benchmark measurement.
+type hotpath struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// iops is one aggregate-throughput measurement.
+type iops struct {
+	Workers int     `json:"workers"`
+	Ops     int     `json:"ops"`
+	WallNs  int64   `json:"wall_ns"`
+	IOPS    float64 `json:"iops"`
+}
+
+// result is one trial-engine experiment's measurement.
 type result struct {
 	Name       string  `json:"name"`
 	SerialNs   int64   `json:"serial_ns"`
@@ -40,27 +76,81 @@ type result struct {
 
 // report is the top-level JSON document.
 type report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Reps       int      `json:"reps"`
-	Results    []result `json:"results"`
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GitSHA     string `json:"git_sha"`
+	// Degraded is true when the capture ran with more workers than the
+	// machine has CPUs (GOMAXPROCS > num_cpu): parallel and IOPS numbers
+	// then measure scheduler oversubscription, not real-core scaling,
+	// and must not be read as a speedup claim.
+	Degraded      bool      `json:"degraded"`
+	Reps          int       `json:"reps"`
+	Hotpath       []hotpath `json:"hotpath"`
+	AggregateIOPS []iops    `json:"aggregate_iops"`
+	Results       []result  `json:"results,omitempty"`
 }
 
 func main() {
 	var (
 		out  = flag.String("out", "BENCH_parallel.json", "output path")
 		exps = flag.String("exp", strings.Join(engineExperiments, ","),
-			"comma-separated experiment ids to measure")
-		reps = flag.Int("reps", 1, "repetitions per measurement (best run kept)")
+			"comma-separated experiment ids to measure ('' skips the section)")
+		reps        = flag.Int("reps", 1, "repetitions per experiment (best run kept)")
+		allowSerial = flag.Bool("allow-serial", false,
+			"permit a capture at GOMAXPROCS=1 (parallel numbers will be meaningless)")
 	)
 	flag.Parse()
 
 	workers := runtime.GOMAXPROCS(0)
+	if workers == 1 && !*allowSerial {
+		fatal(fmt.Errorf("GOMAXPROCS=1: a parallel baseline captured on one scheduler thread "+
+			"is meaningless; rerun with GOMAXPROCS>=4 on a multi-core machine, "+
+			"or pass -allow-serial to capture anyway (num_cpu=%d)", runtime.NumCPU()))
+	}
 	rep := report{
+		Schema:     2,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: workers,
+		NumCPU:     runtime.NumCPU(),
+		GitSHA:     gitSHA(),
+		Degraded:   workers > runtime.NumCPU(),
 		Reps:       *reps,
 	}
+	if rep.Degraded {
+		fmt.Fprintf(os.Stderr, "benchjson: WARNING: GOMAXPROCS=%d > num_cpu=%d — "+
+			"parallel numbers reflect oversubscription; report will be marked degraded\n",
+			workers, rep.NumCPU)
+	}
+
+	for _, c := range perf.Cases() {
+		r := testing.Benchmark(c.Bench)
+		h := hotpath{
+			Name:        c.Name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Hotpath = append(rep.Hotpath, h)
+		fmt.Printf("hotpath %-16s %10d ns/op  %3d allocs/op\n", h.Name, h.NsPerOp, h.AllocsPerOp)
+	}
+
+	for _, w := range []int{1, 4, 8} {
+		if w > workers {
+			break
+		}
+		rate := perf.AggregateIOPS(w, opsPerWorker)
+		m := iops{
+			Workers: w,
+			Ops:     w * opsPerWorker,
+			WallNs:  int64(float64(w*opsPerWorker) / rate * 1e9),
+			IOPS:    rate,
+		}
+		rep.AggregateIOPS = append(rep.AggregateIOPS, m)
+		fmt.Printf("iops    workers=%d %14.0f cmd/s\n", w, rate)
+	}
+
 	for _, id := range strings.Split(*exps, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
@@ -99,6 +189,15 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// gitSHA best-effort resolves the working tree's commit for provenance.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // timeRun executes the experiment reps times at the given worker count and

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -54,6 +56,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		dialWait = flag.Duration("dial-wait", 10*time.Second, "how long to retry the initial connection (server startup grace)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 	if *sessions < 1 || *tenants < 1 || *ops < 1 || *batch < 1 {
@@ -75,6 +79,17 @@ func main() {
 	case "uniform", "hammer", "seq":
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -139,6 +154,17 @@ func main() {
 	}
 	if total > 0 && elapsed > 0 {
 		fmt.Printf("goodput: %.0f ops/s\n", float64(total)/elapsed.Seconds())
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize the post-run live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	if total == 0 {
 		fatal(errors.New("no operations completed"))

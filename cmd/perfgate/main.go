@@ -1,0 +1,131 @@
+// Command perfgate is the CI perf-regression gate. It runs the canonical
+// internal/perf hot-path benchmarks live and compares them against a
+// checked-in baseline (default BENCH_baseline.json):
+//
+//   - allocs/op is machine-independent and gated strictly: any increase
+//     over baseline fails.
+//   - ns/op is machine- and load-dependent and gated with a tolerance
+//     band (-tol, default 0.15 = +15%): only a slowdown beyond the band
+//     fails; being faster never does.
+//
+// A benchmark present in the run but missing from the baseline fails the
+// gate (a new hot path must be baselined), as does the reverse (a
+// baselined path silently vanished). Regenerate the baseline after an
+// intentional perf change with:
+//
+//	go run ./cmd/perfgate -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ftlhammer/internal/perf"
+)
+
+// entry is one benchmark's baseline or measured numbers.
+type entry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// baseline is the checked-in gate reference.
+type baseline struct {
+	Schema     int     `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Hotpath    []entry `json:"hotpath"`
+}
+
+func main() {
+	var (
+		path   = flag.String("baseline", "BENCH_baseline.json", "baseline file to gate against")
+		tol    = flag.Float64("tol", 0.15, "allowed ns/op slowdown fraction over baseline")
+		update = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	)
+	flag.Parse()
+
+	measured := make([]entry, 0, len(perf.Cases()))
+	for _, c := range perf.Cases() {
+		r := testing.Benchmark(c.Bench)
+		e := entry{Name: c.Name, NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+		measured = append(measured, e)
+		fmt.Printf("%-16s %10d ns/op  %3d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+
+	if *update {
+		b := baseline{
+			Schema:     2,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Hotpath:    measured,
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*path, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *path)
+		return
+	}
+
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `go run ./cmd/perfgate -update` to create it)", err))
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *path, err))
+	}
+	want := make(map[string]entry, len(base.Hotpath))
+	for _, e := range base.Hotpath {
+		want[e.Name] = e
+	}
+
+	failures := 0
+	for _, got := range measured {
+		ref, ok := want[got.Name]
+		if !ok {
+			fmt.Printf("FAIL %-16s not in baseline — rerun with -update to baseline the new path\n", got.Name)
+			failures++
+			continue
+		}
+		delete(want, got.Name)
+		if got.AllocsPerOp > ref.AllocsPerOp {
+			fmt.Printf("FAIL %-16s allocs/op %d > baseline %d (alloc regressions are gated strictly)\n",
+				got.Name, got.AllocsPerOp, ref.AllocsPerOp)
+			failures++
+		}
+		limit := float64(ref.NsPerOp) * (1 + *tol)
+		if float64(got.NsPerOp) > limit {
+			fmt.Printf("FAIL %-16s %d ns/op > %.0f (baseline %d +%.0f%%)\n",
+				got.Name, got.NsPerOp, limit, ref.NsPerOp, *tol*100)
+			failures++
+		}
+	}
+	for name := range want {
+		fmt.Printf("FAIL %-16s in baseline but not measured — stale baseline entry\n", name)
+		failures++
+	}
+
+	if failures > 0 {
+		fmt.Printf("perfgate: %d failure(s) against %s (tol %.0f%%)\n", failures, *path, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: ok against %s (tol %.0f%%)\n", *path, *tol*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfgate:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@
 //	repro -all -metrics table   # per-experiment metric dump (or: json)
 //	repro -exp figure3 -trace out.jsonl   # event trace to JSONL
 //	repro -all -listen :6060    # live /metrics + pprof during the run
+//	repro -exp ttl -cpuprofile cpu.out -memprofile mem.out  # offline profiles
 //
 // Each experiment prints the paper's reported values next to the
 // simulation's measured values so shapes can be compared directly.
@@ -31,6 +32,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ftlhammer/internal/experiments"
@@ -60,12 +62,39 @@ func main() {
 			"flush the checkpoint store after this many completed trials")
 		resume = flag.Bool("resume", false,
 			"resume from -checkpoint: completed trials replay from the store, only missing ones execute")
+		cpuProf = flag.String("cpuprofile", "",
+			"write a CPU profile of the run to this file (written on clean exit)")
+		memProf = flag.String("memprofile", "",
+			"write a heap profile to this file after the run (written on clean exit)")
 	)
 	flag.StringVar(expID, "experiment", "", "alias for -exp")
 	flag.Parse()
 
 	if *metrics != "" && *metrics != "table" && *metrics != "json" {
 		fatal(fmt.Errorf("-metrics must be 'table' or 'json', got %q", *metrics))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the post-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
 	}
 
 	opt := experiments.Options{Quick: true, Workers: *parallel}

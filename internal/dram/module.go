@@ -194,6 +194,16 @@ type Module struct {
 	bankActs []uint64
 	// mapCache memoizes the controller address mapping per line.
 	mapCache [1 << mapCacheBits]mapCacheEnt
+	// lastLine/lastBank/lastRow memoize the most recently touched line
+	// (lastLine stores line+1 so the zero value never hits). A block
+	// access walks 64 consecutive lines and a hammer loop re-activates a
+	// tiny set, so this one-entry memo resolves most row-buffer hits
+	// without remapping. Like mapCache, the line→(bank,row) mapping is
+	// pure; the open-row check is always made live, so the memo needs no
+	// invalidation.
+	lastLine uint64
+	lastBank int
+	lastRow  int
 	// thrFloor is the minimum possible flip threshold under this profile
 	// (HCfirst at unit spread); rows disturbed below it cannot flip, so
 	// the hot path skips weak-cell sampling and scanning entirely.
@@ -396,6 +406,14 @@ func (m *Module) access(addr uint64, buf []byte, write bool) error {
 	}
 	var firstErr error
 	off := 0
+	// Non-ECC data movement resolves the backing frame once per 4 KiB
+	// frame instead of once per 64-byte line: a block-sized access spans
+	// 64 lines but at most two frames, so hoisting the map lookup out of
+	// the line walk amortizes it across the batch.
+	var (
+		curKey uint64 = ^uint64(0)
+		cur    *frame
+	)
 	for a := addr; a < end; {
 		lineEnd := (a/lineBytes + 1) * lineBytes
 		if lineEnd > end {
@@ -403,8 +421,22 @@ func (m *Module) access(addr uint64, buf []byte, write bool) error {
 		}
 		n := int(lineEnd - a)
 		m.touchLine(a)
-		if err := m.moveBytes(a, buf[off:off+n], write); err != nil && firstErr == nil {
-			firstErr = err
+		if m.cfg.ECC {
+			if err := m.moveBytes(a, buf[off:off+n], write); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			// Lines never straddle frames (both are powers of two), so
+			// one frame covers the whole [a, lineEnd) span.
+			if key := a / frameBytes; key != curKey || cur == nil {
+				curKey, cur = key, m.frameFor(a)
+			}
+			idx := a % frameBytes
+			if write {
+				copy(cur.data[idx:], buf[off:off+n])
+			} else {
+				copy(buf[off:off+n], cur.data[idx:int(idx)+n])
+			}
 		}
 		a = lineEnd
 		off += n
@@ -437,9 +469,18 @@ func (m *Module) mapLine(addr uint64) Location {
 
 // touchLine performs activation/disturbance bookkeeping for one line.
 func (m *Module) touchLine(addr uint64) {
+	line := addr / lineBytes
+	if line+1 == m.lastLine && m.cfg.Policy == OpenRow &&
+		m.banks[m.lastBank].openRow == m.lastRow {
+		// Same line as the previous touch and its row is still open:
+		// a row-buffer hit with no remapping needed.
+		m.stats.RowHits++
+		return
+	}
 	loc := m.mapLine(addr)
 	bankIdx := m.cfg.Geometry.FlatBank(loc)
 	bank := m.banks[bankIdx]
+	m.lastLine, m.lastBank, m.lastRow = line+1, bankIdx, loc.Row
 
 	if m.cfg.Policy == OpenRow && bank.openRow == loc.Row {
 		m.stats.RowHits++

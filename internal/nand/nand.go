@@ -186,6 +186,10 @@ type Array struct {
 	badBlocks []bool
 	inj       *faults.Injector
 	stats     Stats
+	// free recycles page buffers released by EraseBlock back into
+	// Program, so steady-state write traffic (program/erase cycles over
+	// a bounded page population) does not allocate.
+	free [][]byte
 }
 
 // Option configures an Array.
@@ -319,7 +323,12 @@ func (a *Array) Program(ppn PPN, data []byte) error {
 		a.stats.BusyTime += a.lat.Program
 		return fmt.Errorf("nand: program of ppn %d: %w", ppn, ErrMediaProgram)
 	}
-	page := make([]byte, a.geo.PageBytes)
+	var page []byte
+	if n := len(a.free); n > 0 {
+		page, a.free = a.free[n-1], a.free[:n-1]
+	} else {
+		page = make([]byte, a.geo.PageBytes)
+	}
 	copy(page, data)
 	a.data[ppn] = page
 	a.state[ppn] = pageProgrammed
@@ -342,7 +351,10 @@ func (a *Array) EraseBlock(block int) error {
 	for i := 0; i < a.geo.PagesPerBlock; i++ {
 		ppn := first + PPN(i)
 		a.state[ppn] = pageFree
-		delete(a.data, ppn)
+		if page, ok := a.data[ppn]; ok {
+			a.free = append(a.free, page)
+			delete(a.data, ppn)
+		}
 	}
 	a.nextPage[block] = 0
 	a.eraseCnt[block]++

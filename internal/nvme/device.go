@@ -323,15 +323,24 @@ func (d *Device) chargeBackend(dramBefore dram.Stats, flashBefore nand.Stats) {
 	d.clk.Advance(busy / sim.Duration(d.pipelining))
 }
 
-// serve runs one backend service attempt: snapshot, FTL op, backend time
-// charge, guard report. It is the unit the robustness layer re-issues.
-func (d *Device) serve(ns *Namespace, g ftl.LBA, op func() error) error {
+// serveOnce runs one backend service attempt: snapshot, FTL op, backend
+// time charge, guard report. It is the unit the robustness layer
+// re-issues. Taking the opcode and buffer as plain parameters (rather
+// than an op closure) keeps the per-command fast path allocation-free.
+func (d *Device) serveOnce(ns *Namespace, g ftl.LBA, op Opcode, buf []byte) (mapped bool, err error) {
 	dramBefore, flashBefore := d.mem.Stats(), d.flash.Stats()
-	err := op()
+	switch op {
+	case OpRead:
+		mapped, err = d.ftl.ReadLBA(g, buf)
+	case OpWrite:
+		err = d.ftl.WriteLBA(g, buf)
+	default:
+		err = d.ftl.Trim(g)
+	}
 	activated := d.mem.Stats().Activations > dramBefore.Activations
 	d.chargeBackend(dramBefore, flashBefore)
 	d.observeGuard(ns, g, activated)
-	return err
+	return mapped, err
 }
 
 // ErrNoNamespace reports a Command submitted without a target namespace.
@@ -393,24 +402,10 @@ func (d *Device) DoContext(ctx context.Context, cmd Command) (Completion, error)
 		}
 	}
 	d.admit(ns, cmd.Path)
-	attempt := func() error {
-		return d.serve(ns, g, func() error {
-			switch cmd.Op {
-			case OpRead:
-				var aerr error
-				c.Mapped, aerr = d.ftl.ReadLBA(g, cmd.Buf)
-				return aerr
-			case OpWrite:
-				return d.ftl.WriteLBA(g, cmd.Buf)
-			default:
-				return d.ftl.Trim(g)
-			}
-		})
-	}
 	if d.robustOn() {
-		c.Err = d.robustly(ctx, g, cmd.Op, attempt)
+		c.Mapped, c.Err = d.robustly(ctx, ns, g, cmd.Op, cmd.Buf)
 	} else {
-		c.Err = attempt()
+		c.Mapped, c.Err = d.serveOnce(ns, g, cmd.Op, cmd.Buf)
 	}
 	switch cmd.Op {
 	case OpRead:
@@ -421,6 +416,27 @@ func (d *Device) DoContext(ctx context.Context, cmd Command) (Completion, error)
 		ns.stats.Trims++
 	}
 	return c, nil
+}
+
+// DoBatch executes cmds in order, appending one completion per command to
+// comps and returning the extended slice. comps may be nil or a recycled
+// slice with spare capacity — when it has room for len(cmds) more entries
+// the call performs no allocations, which is what lets the transport
+// engine run a whole wire batch without garbage. Submission-level
+// rejections surface as the command's Completion.Err, exactly as
+// QueuePair.Ring reports them.
+func (d *Device) DoBatch(ctx context.Context, cmds []Command, comps []Completion) []Completion {
+	if n := len(cmds); n > d.maxBatch {
+		d.maxBatch = n
+	}
+	for i := range cmds {
+		c, err := d.DoContext(ctx, cmds[i])
+		if err != nil {
+			c.Err = err
+		}
+		comps = append(comps, c)
+	}
+	return comps
 }
 
 // Read services one block read. The returned mapped flag reports whether

@@ -118,19 +118,10 @@ func (q *QueuePair) Submit(cmd Command) error {
 //     derived metrics) are deterministic at any -parallel worker count.
 func (q *QueuePair) Ring() int {
 	n := len(q.sq)
-	if n > q.dev.maxBatch {
-		q.dev.maxBatch = n
+	for i := range q.sq {
+		q.sq[i].NS, q.sq[i].Path = q.ns, q.path
 	}
-	for _, cmd := range q.sq {
-		cmd.NS, cmd.Path = q.ns, q.path
-		c, err := q.dev.Do(cmd)
-		if err != nil {
-			// Submission-level rejection (malformed command): surface it
-			// as the command's completion status, as a controller would.
-			c.Err = err
-		}
-		q.cq = append(q.cq, c)
-	}
+	q.cq = q.dev.DoBatch(nil, q.sq, q.cq)
 	q.sq = q.sq[:0]
 	return n
 }

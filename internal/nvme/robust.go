@@ -206,14 +206,16 @@ func (d *Device) rejectIfReadOnly(op Opcode) error {
 //	up to MaxRetries; exhaustion completes with ErrAborted (drop),
 //	ErrMediaFailure (media) or ErrTimeout (deadline), in that precedence.
 //
-// attempt is the single-service-attempt closure (admission is charged
-// once, before the loop; each attempt re-runs only backend service).
+// Each attempt re-runs serveOnce with the same opcode and buffer
+// (admission is charged once, before the loop; each attempt re-runs only
+// backend service). Taking the command's fields as plain parameters keeps
+// the retry state pre-sized on the stack — no per-command closure.
 //
 // ctx carries caller cancellation: it is consulted before every retry
 // re-issue (never mid-attempt — an attempt is one indivisible virtual-time
 // unit), so a canceled caller completes the command with ctx.Err() instead
 // of spending the remaining retry budget. A nil ctx never cancels.
-func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt func() error) error {
+func (d *Device) robustly(ctx context.Context, ns *Namespace, g ftl.LBA, op Opcode, buf []byte) (mapped bool, _ error) {
 	maxAttempts := 1 + d.rob.MaxRetries
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -224,7 +226,8 @@ func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt fun
 		if hit, lat := d.inj.Decide(faults.KindLatency, uint64(g)); hit {
 			d.clk.Advance(lat)
 		}
-		err := attempt()
+		var err error
+		mapped, err = d.serveOnce(ns, g, op, buf)
 		dropped, _ := d.inj.Decide(faults.KindDropCompletion, uint64(g))
 		if dropped {
 			d.rstats.DroppedCompletions++
@@ -252,33 +255,33 @@ func (d *Device) robustly(ctx context.Context, g ftl.LBA, op Opcode, attempt fun
 		if err == nil && !timedOut {
 			d.noteRetries(try - 1)
 			d.noteClean()
-			return nil
+			return mapped, nil
 		}
 		if err != nil && !mediaErr {
 			// Firmware/semantic errors (corrupt translation, forced
 			// ECC, out-of-range) are not transient: retrying would
 			// re-read the same poisoned state. Complete verbatim.
-			return err
+			return mapped, err
 		}
 		if try >= maxAttempts {
 			d.noteRetries(try - 1)
 			switch {
 			case dropped:
 				d.rstats.AbortedCmds++
-				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, ErrAborted, try)
+				return mapped, fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, ErrAborted, try)
 			case mediaErr:
 				d.rstats.MediaFailedCmds++
-				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts (%v)", op, g, ErrMediaFailure, try, err)
+				return mapped, fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts (%v)", op, g, ErrMediaFailure, try, err)
 			default:
 				d.rstats.TimedOutCmds++
-				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, ErrTimeout, try)
+				return mapped, fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, ErrTimeout, try)
 			}
 		}
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				// The caller is gone; abandon the remaining retry budget.
 				d.noteRetries(try - 1)
-				return fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, cerr, try)
+				return mapped, fmt.Errorf("nvme: %s of LBA %d: %w after %d attempts", op, g, cerr, try)
 			}
 		}
 		d.rstats.Retries++

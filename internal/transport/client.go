@@ -56,6 +56,14 @@ type Client struct {
 	cq     []nvme.Completion
 	broken bool
 	closed bool
+
+	// Ring scratch, recycled across round trips: the encoded batch frame,
+	// the raw completions payload, and the decoded wire completions (whose
+	// Data/Msg fields alias rbuf and are consumed before Ring returns).
+	wcmds []wireCmd
+	wbuf  []byte
+	rbuf  []byte
+	comps []wireCompletion
 }
 
 // Dial connects, performs the handshake, and returns a ready session.
@@ -169,26 +177,33 @@ func (c *Client) Ring(ctx context.Context) (int, error) {
 	if len(c.sq) == 0 {
 		return 0, nil
 	}
-	wcmds := make([]wireCmd, len(c.sq))
-	for i, cmd := range c.sq {
-		wcmds[i] = wireCmd{Op: byte(cmd.Op), Tag: cmd.Tag, LBA: uint64(cmd.LBA)}
+	c.wcmds = c.wcmds[:0]
+	for _, cmd := range c.sq {
+		wc := wireCmd{Op: byte(cmd.Op), Tag: cmd.Tag, LBA: uint64(cmd.LBA)}
 		if cmd.Op == nvme.OpWrite {
-			wcmds[i].Data = cmd.Buf
+			wc.Data = cmd.Buf
 		}
+		c.wcmds = append(c.wcmds, wc)
 	}
 	var comps []wireCompletion
 	err := c.withCtx(ctx, func() error {
-		if err := writeFrame(c.conn, frameBatch, appendBatch(nil, wcmds)); err != nil {
+		frame, start := beginFrame(c.wbuf[:0], frameBatch)
+		frame = appendBatch(frame, c.wcmds)
+		frame = endFrame(frame, start)
+		c.wbuf = frame
+		if _, err := c.conn.Write(frame); err != nil {
 			return err
 		}
-		typ, payload, err := readFrame(c.conn, maxCompletionsPayload(c.window, c.blockBytes))
+		typ, payload, err := readFrameInto(c.conn, c.rbuf, maxCompletionsPayload(c.window, c.blockBytes))
+		c.rbuf = payload
 		if err != nil {
 			return err
 		}
 		if typ != frameCompletions {
 			return fmt.Errorf("transport: unexpected frame type %d, want completions", typ)
 		}
-		comps, err = parseCompletions(payload)
+		comps, err = parseCompletionsInto(c.comps[:0], payload)
+		c.comps = comps
 		return err
 	})
 	if err != nil {

@@ -72,7 +72,15 @@ func genWorkload(numLBAs uint64, n int) []step {
 // network session and once through a local queue pair, leave two devices
 // in byte-identical states — same per-namespace and FTL counters, same
 // virtual clock, same L2P table, same read payloads and completion errors.
+// It runs with both a single-shard and a multi-shard engine: one session's
+// commands always land on one shard in arrival order, so sharding must not
+// perturb the simulation at all.
 func TestRemoteInProcessEquivalence(t *testing.T) {
+	t.Run("shards=1", func(t *testing.T) { testRemoteInProcessEquivalence(t, 1) })
+	t.Run("shards=4", func(t *testing.T) { testRemoteInProcessEquivalence(t, 4) })
+}
+
+func testRemoteInProcessEquivalence(t *testing.T, shards int) {
 	const (
 		seed      = 77
 		tenants   = 2
@@ -86,7 +94,7 @@ func TestRemoteInProcessEquivalence(t *testing.T) {
 	numLBAs := remoteDev.Namespaces()[0].NumLBAs
 	steps := genWorkload(numLBAs, nOps)
 
-	srv := NewServer(remoteDev, Config{Window: batchSize})
+	srv := NewServer(remoteDev, Config{Window: batchSize, EngineShards: shards})
 	addr, stop := startServer(t, srv)
 	c, err := Dial(context.Background(), addr, ClientConfig{NSID: 1, Window: batchSize})
 	if err != nil {

@@ -33,8 +33,8 @@ type serverStats struct {
 
 // registerObs wires the server into its device's registry. All series are
 // projected once at Flush; the caller flushes after Serve returns, when
-// the engine is quiescent (byte counters are atomics because the session
-// reader/writer goroutines maintain them).
+// the engine shards are quiescent (byte counters are atomics because the
+// session reader/writer goroutines maintain them).
 func (s *Server) registerObs(r *obs.Registry) {
 	r.OnFlush(func() {
 		st := s.st
@@ -48,6 +48,14 @@ func (s *Server) registerObs(r *obs.Registry) {
 		r.Counter("transport_bytes_written_total").Add(s.bytesOut.Load())
 		if st.activeMax > 0 {
 			r.Gauge("transport_sessions_active_max", obs.AggMax).SetMax(float64(st.activeMax))
+		}
+		r.Gauge("transport_engine_shards", obs.AggMax).SetMax(float64(len(s.shards)))
+		for i := range s.shardSt {
+			if s.shardSt[i].batches == 0 {
+				continue
+			}
+			r.Counter(obs.L("transport_shard_batches_total", "shard", i)).Add(s.shardSt[i].batches)
+			r.Counter(obs.L("transport_shard_commands_total", "shard", i)).Add(s.shardSt[i].commands)
 		}
 	})
 }

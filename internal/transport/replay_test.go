@@ -71,7 +71,10 @@ func TestRecordedTransportSessionReplaysInProcess(t *testing.T) {
 	rec := replay.NewRecorder(&traceBuf)
 	rec.Attach(remoteDev)
 
-	srv := NewServer(remoteDev, Config{Window: batchSize})
+	// Two shards: the two sequential sessions land on distinct shards
+	// (ns 1 and ns 2), pinning that the sharded engine records the same
+	// trace a single funnel would for non-overlapping sessions.
+	srv := NewServer(remoteDev, Config{Window: batchSize, EngineShards: 2})
 	addr, stop := startServer(t, srv)
 
 	// Two sequential sessions on different namespaces: the recorded

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,22 @@ type Config struct {
 	// HandshakeTimeout bounds how long a fresh connection may take to
 	// send its hello. Default 10s.
 	HandshakeTimeout time.Duration
+	// EngineShards sets how many engine goroutines serve command batches.
+	// Sessions are assigned to shards by namespace ID, so one namespace's
+	// traffic always executes in arrival order on one shard, while
+	// distinct namespaces decode, execute and encode concurrently.
+	// Device execution itself stays serialized under the device mutex
+	// (one simulated device has one virtual clock), with clock ownership
+	// handed between shards via Clock.Handoff; the parallel win is
+	// everything outside that critical section — frame decode, wire
+	// encode and socket I/O. Default min(GOMAXPROCS, 4), max 64.
+	EngineShards int
+	// DrainGrace bounds how long a graceful drain waits for in-flight
+	// completion frames to reach slow clients: beginDrain applies it as a
+	// write deadline on every open session, so a peer that stopped
+	// reading its socket cannot hold a shard's sessions (and Shutdown)
+	// hostage. Default 5s.
+	DrainGrace time.Duration
 	// Faults, when non-nil, drives KindConnReset connection faults: after
 	// a served batch the injector may doom the session's connection,
 	// modeling NVMe-oF link loss. Typically the same injector threaded
@@ -50,23 +67,61 @@ func (c *Config) fillDefaults() {
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 10 * time.Second
 	}
+	if c.EngineShards <= 0 {
+		c.EngineShards = runtime.GOMAXPROCS(0)
+		if c.EngineShards > 4 {
+			c.EngineShards = 4
+		}
+	}
+	if c.EngineShards > 64 {
+		c.EngineShards = 64
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
 }
 
-// engineItem is one unit of work funneled into the engine goroutine:
+// batchBuffers is the pooled per-batch working set of the wire path: the
+// raw frame payload, its decoded wire commands, the device commands and
+// completions, the encoded wire completions, and the read-data blocks.
+// One set cycles reader → engine → writer and returns to the pool only
+// after its completions frame is on the wire (recycle-after-write), so
+// the steady-state batch path allocates nothing.
+type batchBuffers struct {
+	payload []byte
+	wcmds   []wireCmd
+	cmds    []nvme.Command
+	comps   []nvme.Completion
+	wcs     []wireCompletion
+	// blocks are read-data buffers of one block each, owned by this set
+	// and reused in place batch after batch.
+	blocks [][]byte
+}
+
+// block returns the i-th read buffer, allocating it on first use.
+func (bb *batchBuffers) block(i, blockBytes int) []byte {
+	for len(bb.blocks) <= i {
+		bb.blocks = append(bb.blocks, make([]byte, blockBytes))
+	}
+	return bb.blocks[i]
+}
+
+// engineItem is one unit of work funneled into a shard's engine loop:
 // exactly one of open, closeSess, or a command batch.
 type engineItem struct {
 	sess      *session
 	open      bool
 	closeSess bool
-	cmds      []nvme.Command
+	bb        *batchBuffers
 	// stalled marks a batch whose window-token acquisition had to block —
 	// the observable edge of backpressure.
 	stalled bool
 }
 
-// outBatch is one completions frame queued to a session's writer.
+// outBatch is one completions frame queued to a session's writer, carrying
+// its batch set until the frame is written and the set can be recycled.
 type outBatch struct {
-	comps []wireCompletion
+	bb *batchBuffers
 	// reset dooms the connection after this frame (conn-reset fault).
 	reset bool
 }
@@ -75,8 +130,9 @@ type outBatch struct {
 type session struct {
 	id     uint32
 	nsid   int
+	ns     *nvme.Namespace
+	path   nvme.Path
 	conn   net.Conn
-	qp     *nvme.QueuePair
 	window int
 	// tokens is the inflight window: one token per submitted command,
 	// released by the writer after the completion is on the wire.
@@ -85,21 +141,42 @@ type session struct {
 	// window batches, so the engine never blocks on a slow client.
 	out        chan outBatch
 	writerDone chan struct{}
+	// wbuf is the writer's completions-frame scratch, grown to the
+	// session's high-water mark and then reused.
+	wbuf []byte
+}
+
+// shardStats is one engine shard's counter block, owned by its goroutine
+// and read at Flush after quiesce.
+type shardStats struct {
+	batches  uint64
+	commands uint64
 }
 
 // Server exposes one *nvme.Device over TCP. Create with NewServer, run
 // with Serve, stop with Shutdown (or by canceling Serve's context).
 //
 // The device must not be driven by anyone else while the server runs: the
-// engine goroutine takes over the device's virtual-clock ownership for the
-// duration of Serve and hands it back when Serve returns.
+// engine shards take over the device's virtual-clock ownership for the
+// duration of Serve (passing it between themselves under devMu) and hand
+// it back when Serve returns.
 type Server struct {
 	dev *nvme.Device
 	cfg Config
 	reg *obs.Registry
 
-	work chan engineItem
-	done chan struct{}
+	// shards holds one work channel per engine shard; sessions map to a
+	// shard by namespace ID, keeping per-namespace command order.
+	shards []chan engineItem
+	done   chan struct{}
+
+	// devMu serializes device execution (and engine-owned counters)
+	// across shards. Every critical section ends with Clock.Handoff so
+	// the clock's race-build owner guard follows the lock.
+	devMu sync.Mutex
+
+	// batchPool recycles batch buffer sets across sessions and shards.
+	batchPool sync.Pool
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -108,8 +185,10 @@ type Server struct {
 	draining bool
 	serving  bool
 
-	// st is owned by the engine goroutine; read at Flush after quiesce.
-	st       serverStats
+	// st is engine-owned (under devMu); read at Flush after quiesce.
+	st serverStats
+	// shardSt is per-shard, each entry owned by its engine goroutine.
+	shardSt  []shardStats
 	rejected atomic.Uint64
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
@@ -123,14 +202,43 @@ func NewServer(dev *nvme.Device, cfg Config) *Server {
 		dev:      dev,
 		cfg:      cfg,
 		reg:      dev.World().Obs,
-		work:     make(chan engineItem, 64),
+		shards:   make([]chan engineItem, cfg.EngineShards),
+		shardSt:  make([]shardStats, cfg.EngineShards),
 		done:     make(chan struct{}),
 		sessions: map[uint32]*session{},
 	}
+	for i := range s.shards {
+		s.shards[i] = make(chan engineItem, 64)
+	}
+	s.batchPool.New = func() any { return &batchBuffers{} }
 	if s.reg != nil {
 		s.registerObs(s.reg)
 	}
 	return s
+}
+
+// getBatch takes a recycled batch set from the pool.
+func (s *Server) getBatch() *batchBuffers {
+	return s.batchPool.Get().(*batchBuffers)
+}
+
+// putBatch returns a batch set to the pool, resetting lengths but keeping
+// every backing array (payload, slices, read blocks) for reuse.
+func (s *Server) putBatch(bb *batchBuffers) {
+	bb.wcmds = bb.wcmds[:0]
+	bb.cmds = bb.cmds[:0]
+	bb.comps = bb.comps[:0]
+	bb.wcs = bb.wcs[:0]
+	s.batchPool.Put(bb)
+}
+
+// shardOf maps a session's namespace onto its engine shard.
+func (s *Server) shardOf(nsid int) chan engineItem {
+	idx := 0
+	if nsid > 0 {
+		idx = (nsid - 1) % len(s.shards)
+	}
+	return s.shards[idx]
 }
 
 // Serve accepts sessions on ln until ctx is canceled or Shutdown is
@@ -148,15 +256,21 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.mu.Unlock()
 	if draining {
 		ln.Close()
-		close(s.work)
 		close(s.done)
 		return ErrServerClosed
 	}
 
-	// The engine becomes the device's single clock owner for the run.
+	// The engine shards become the device's clock owners for the run
+	// (ownership passes between them with devMu; see engine).
 	s.dev.Clock().Handoff()
-	engineDone := make(chan struct{})
-	go s.engine(engineDone)
+	var engines sync.WaitGroup
+	for i := range s.shards {
+		engines.Add(1)
+		go func(idx int) {
+			defer engines.Done()
+			s.engine(idx)
+		}(i)
+	}
 
 	stopWatch := make(chan struct{})
 	go func() {
@@ -189,8 +303,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	close(stopWatch)
 	s.beginDrain()
 	wg.Wait()
-	close(s.work)
-	<-engineDone
+	for _, work := range s.shards {
+		close(work)
+	}
+	engines.Wait()
 	close(s.done)
 	if acceptErr != nil {
 		return acceptErr
@@ -198,8 +314,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return ErrServerClosed
 }
 
-// beginDrain stops accepting and kicks every session's read loop; inflight
-// commands still complete and their completions are flushed.
+// beginDrain stops accepting and kicks every session: the read deadline
+// unblocks the reader immediately, and the write deadline gives in-flight
+// completion frames DrainGrace to flush — after that the writer goes dead
+// and keeps draining tokens, so a peer that stopped reading cannot wedge
+// a shard (or graceful Shutdown) behind a blocked socket write.
 func (s *Server) beginDrain() {
 	s.mu.Lock()
 	if s.draining {
@@ -212,13 +331,16 @@ func (s *Server) beginDrain() {
 	for _, se := range s.sessions {
 		kick = append(kick, se)
 	}
+	grace := s.cfg.DrainGrace
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
+	now := time.Now()
 	for _, se := range kick {
 		// Unblock the reader; queued batches drain through the engine.
-		se.conn.SetReadDeadline(time.Now())
+		se.conn.SetReadDeadline(now)
+		se.conn.SetWriteDeadline(now.Add(grace))
 	}
 }
 
@@ -257,7 +379,8 @@ func (s *Server) reject(conn net.Conn, st Status, msg string) {
 }
 
 // serveConn runs one session: handshake, then the read loop feeding the
-// engine, with a writer goroutine flushing completions back.
+// session's engine shard, with a writer goroutine flushing completions
+// back.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
@@ -305,6 +428,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	se := &session{
 		id:         s.nextID,
 		nsid:       ns.ID,
+		ns:         ns,
+		path:       path,
 		conn:       conn,
 		window:     window,
 		tokens:     make(chan struct{}, window),
@@ -319,13 +444,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
-	qp, err := s.dev.NewQueuePair(ns, path, window)
-	if err != nil {
-		s.reject(conn, StatusInvalid, err.Error())
-		return
-	}
-	se.qp = qp
-
 	blockBytes := s.dev.BlockBytes()
 	wpayload := appendWelcome(nil, welcome{
 		Version:    ProtocolVersion,
@@ -339,43 +457,52 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 
-	s.work <- engineItem{sess: se, open: true}
+	work := s.shardOf(se.nsid)
+	work <- engineItem{sess: se, open: true}
 	go s.writeLoop(se)
 	maxPayload := maxBatchPayload(window, blockBytes)
 	conn.SetReadDeadline(time.Time{})
 	for {
-		typ, payload, err := readFrame(conn, maxPayload)
-		if err != nil || typ == frameBye {
-			break
-		}
-		if typ != frameBatch {
+		bb := s.getBatch()
+		typ, payload, err := readFrameInto(conn, bb.payload, maxPayload)
+		bb.payload = payload
+		if err != nil || typ != frameBatch {
+			// frameBye and malformed streams both end the session.
+			s.putBatch(bb)
 			break
 		}
 		s.bytesIn.Add(uint64(frameHeaderLen + len(payload)))
-		wcmds, err := parseBatch(payload, blockBytes)
-		if err != nil || len(wcmds) == 0 || len(wcmds) > window {
+		bb.wcmds, err = parseBatchInto(bb.wcmds[:0], payload, blockBytes)
+		if err != nil || len(bb.wcmds) == 0 || len(bb.wcmds) > window {
+			s.putBatch(bb)
 			break
 		}
-		cmds := make([]nvme.Command, len(wcmds))
-		for i, wc := range wcmds {
-			cmds[i] = nvme.Command{
+		bb.cmds = bb.cmds[:0]
+		reads := 0
+		for _, wc := range bb.wcmds {
+			cmd := nvme.Command{
 				Op:     nvme.Opcode(wc.Op),
+				NS:     se.ns,
+				Path:   se.path,
 				LBA:    lbaOf(wc.LBA),
 				Tag:    wc.Tag,
 				Origin: uint64(se.id),
 			}
-			if cmds[i].Op == nvme.OpWrite {
-				cmds[i].Buf = wc.Data
-			} else if cmds[i].Op == nvme.OpRead {
-				cmds[i].Buf = make([]byte, blockBytes)
+			switch cmd.Op {
+			case nvme.OpWrite:
+				cmd.Buf = wc.Data
+			case nvme.OpRead:
+				cmd.Buf = bb.block(reads, blockBytes)
+				reads++
 			}
+			bb.cmds = append(bb.cmds, cmd)
 		}
 		// Backpressure: one window token per command, released only after
 		// its completion is written back. When the window is exhausted
 		// this blocks, which stalls the read loop and ultimately the
 		// client's TCP stream.
 		stalled := false
-		for range cmds {
+		for range bb.cmds {
 			select {
 			case se.tokens <- struct{}{}:
 			default:
@@ -383,30 +510,38 @@ func (s *Server) serveConn(conn net.Conn) {
 				se.tokens <- struct{}{}
 			}
 		}
-		s.work <- engineItem{sess: se, cmds: cmds, stalled: stalled}
+		work <- engineItem{sess: se, bb: bb, stalled: stalled}
 	}
-	// All of this session's batches precede this item on the work
+	// All of this session's batches precede this item on the shard's work
 	// channel, so the engine closes se.out only after serving them.
-	s.work <- engineItem{sess: se, closeSess: true}
+	work <- engineItem{sess: se, closeSess: true}
 	<-se.writerDone
 }
 
-// writeLoop flushes completions for one session. After a write error it
-// keeps draining (and releasing window tokens) so the reader and engine
-// never wedge on a dead client.
+// writeLoop flushes completions for one session, encoding each frame into
+// the session's recycled scratch and returning the batch set to the pool
+// once the frame is on the wire. After a write error it keeps draining
+// (and releasing window tokens) so the reader and engine never wedge on a
+// dead client.
 func (s *Server) writeLoop(se *session) {
 	defer close(se.writerDone)
 	dead := false
 	for ob := range se.out {
+		bb := ob.bb
+		n := len(bb.wcs)
 		if !dead {
-			payload := appendCompletions(nil, ob.comps)
-			if err := writeFrame(se.conn, frameCompletions, payload); err != nil {
+			frame, start := beginFrame(se.wbuf[:0], frameCompletions)
+			frame = appendCompletions(frame, bb.wcs)
+			frame = endFrame(frame, start)
+			se.wbuf = frame
+			if _, err := se.conn.Write(frame); err != nil {
 				dead = true
 			} else {
-				s.bytesOut.Add(uint64(frameHeaderLen + len(payload)))
+				s.bytesOut.Add(uint64(len(frame)))
 			}
 		}
-		for range ob.comps {
+		s.putBatch(bb)
+		for i := 0; i < n; i++ {
 			<-se.tokens
 		}
 		if ob.reset && !dead {
@@ -418,58 +553,64 @@ func (s *Server) writeLoop(se *session) {
 	}
 }
 
-// engine is the single goroutine that owns the device clock: every command
-// from every session funnels through here in arrival order, which is what
-// keeps the simulated device state identical to an in-process run issuing
-// the same command sequence.
-func (s *Server) engine(done chan struct{}) {
-	defer close(done)
-	// Hand the clock back so the post-Serve goroutine can inspect state.
-	defer s.dev.Clock().Handoff()
-	clk := s.dev.Clock()
-	for it := range s.work {
+// engine is one shard's command loop. Sessions land on a shard by
+// namespace, so each namespace's commands execute in arrival order;
+// device execution itself is serialized across shards by devMu (one
+// simulated device, one virtual clock), and every critical section ends
+// with Clock.Handoff so clock ownership follows the lock. Wire encoding
+// happens outside the lock — that, plus per-shard decode and socket I/O,
+// is the multi-core win.
+func (s *Server) engine(idx int) {
+	work := s.shards[idx]
+	sst := &s.shardSt[idx]
+	for it := range work {
 		switch {
 		case it.open:
+			s.devMu.Lock()
 			s.st.sessions++
 			s.st.active++
 			if s.st.active > s.st.activeMax {
 				s.st.activeMax = s.st.active
 			}
-			s.reg.Emit(uint64(clk.Now()), EvSession, int64(it.sess.id), 1, int64(it.sess.nsid))
+			s.reg.Emit(uint64(s.dev.Clock().Now()), EvSession, int64(it.sess.id), 1, int64(it.sess.nsid))
+			s.dev.Clock().Handoff()
+			s.devMu.Unlock()
 		case it.closeSess:
+			s.devMu.Lock()
 			s.st.active--
-			s.reg.Emit(uint64(clk.Now()), EvSession, int64(it.sess.id), 0, int64(it.sess.nsid))
+			s.reg.Emit(uint64(s.dev.Clock().Now()), EvSession, int64(it.sess.id), 0, int64(it.sess.nsid))
+			s.dev.Clock().Handoff()
+			s.devMu.Unlock()
 			close(it.sess.out)
 		default:
+			bb := it.bb
+			reset := false
+			s.devMu.Lock()
 			if it.stalled {
 				s.st.overloads++
-				s.reg.Emit(uint64(clk.Now()), EvOverload, int64(it.sess.id), int64(it.sess.window), int64(len(it.cmds)))
+				s.reg.Emit(uint64(s.dev.Clock().Now()), EvOverload, int64(it.sess.id), int64(it.sess.window), int64(len(bb.cmds)))
 			}
 			s.st.batches++
-			s.st.commands += uint64(len(it.cmds))
-			for _, cmd := range it.cmds {
-				if err := it.sess.qp.Submit(cmd); err != nil {
-					// Unreachable: batch size is bounded by the window,
-					// which is the queue depth.
-					panic(err)
-				}
-			}
-			it.sess.qp.Ring()
-			comps := it.sess.qp.Completions()
-			wcs := make([]wireCompletion, len(comps))
-			for i, cp := range comps {
-				st, msg := statusOf(cp.Err)
-				wcs[i] = wireCompletion{Tag: cp.Tag, Status: st, Mapped: cp.Mapped, Msg: msg}
-				if st == StatusOK && it.cmds[i].Op == nvme.OpRead {
-					wcs[i].Data = it.cmds[i].Buf
-				}
-			}
-			reset := false
+			s.st.commands += uint64(len(bb.cmds))
+			bb.comps = s.dev.DoBatch(nil, bb.cmds, bb.comps[:0])
 			if hit, _ := s.cfg.Faults.Decide(faults.KindConnReset, uint64(it.sess.id)); hit {
 				reset = true
 				s.st.connResets++
 			}
-			it.sess.out <- outBatch{comps: wcs, reset: reset}
+			s.dev.Clock().Handoff()
+			s.devMu.Unlock()
+			sst.batches++
+			sst.commands += uint64(len(bb.cmds))
+			bb.wcs = bb.wcs[:0]
+			for i, cp := range bb.comps {
+				st, msg := statusOf(cp.Err)
+				wc := wireCompletion{Tag: cp.Tag, Status: st, Mapped: cp.Mapped, Msg: msg}
+				if st == StatusOK && bb.cmds[i].Op == nvme.OpRead {
+					wc.Data = bb.cmds[i].Buf
+				}
+				bb.wcs = append(bb.wcs, wc)
+			}
+			it.sess.out <- outBatch{bb: bb, reset: reset}
 		}
 	}
 }

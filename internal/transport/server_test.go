@@ -83,7 +83,10 @@ func TestConcurrentSessions(t *testing.T) {
 		readsPerOps = 3 // of every 4 ops, 3 reads + 1 write
 	)
 	dev, _ := newTestDevice(t, 42, tenants, faults.Plan{})
-	srv := NewServer(dev, Config{Window: batchSize})
+	// Force a multi-shard engine (the default would be 1 on a 1-CPU box)
+	// so cross-shard clock handoff and devMu serialization run under
+	// -race regardless of the host.
+	srv := NewServer(dev, Config{Window: batchSize, EngineShards: 4})
 	addr, stop := startServer(t, srv)
 
 	var wg sync.WaitGroup

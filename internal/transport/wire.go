@@ -191,21 +191,51 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
+// beginFrame appends a frame header for typ to dst and returns the buffer
+// plus the payload start offset; endFrame backfills the length once the
+// payload has been appended in place. Together they encode a whole frame
+// into a caller-recycled buffer — the zero-copy, zero-alloc counterpart
+// of writeFrame for the steady-state completion path.
+func beginFrame(dst []byte, typ byte) ([]byte, int) {
+	dst = append(dst, 0, 0, 0, 0, typ)
+	return dst, len(dst)
+}
+
+// endFrame backfills the payload length of the frame started at
+// payloadStart and returns the finished frame buffer.
+func endFrame(dst []byte, payloadStart int) []byte {
+	binary.BigEndian.PutUint32(dst[payloadStart-frameHeaderLen:], uint32(len(dst)-payloadStart))
+	return dst
+}
+
 // readFrame reads the next frame, refusing payloads beyond maxPayload. The
 // returned payload is freshly allocated: decoded messages may retain
 // sub-slices of it.
 func readFrame(r io.Reader, maxPayload int) (typ byte, payload []byte, err error) {
+	return readFrameInto(r, nil, maxPayload)
+}
+
+// readFrameInto is readFrame with a caller-recycled payload buffer: when
+// buf has capacity for the payload it is reused in place (the returned
+// payload aliases it), otherwise a larger buffer is allocated. The caller
+// keeps the returned slice as its scratch for the next call, so the
+// buffer grows to the session's high-water mark and then stops
+// allocating. On error the scratch is returned unchanged.
+func readFrameInto(r io.Reader, buf []byte, maxPayload int) (typ byte, payload []byte, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if int(n) > maxPayload {
-		return 0, nil, fmt.Errorf("%w: %d > %d", errFrameTooLarge, n, maxPayload)
+		return 0, buf, fmt.Errorf("%w: %d > %d", errFrameTooLarge, n, maxPayload)
 	}
-	payload = make([]byte, n)
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, payload, err
 	}
 	return hdr[4], payload, nil
 }
@@ -333,9 +363,19 @@ func appendBatch(b []byte, cmds []wireCmd) []byte {
 // server relies on: writes carry exactly blockBytes of data, reads and
 // trims carry none, and opcodes are known.
 func parseBatch(p []byte, blockBytes int) ([]wireCmd, error) {
+	cmds, err := parseBatchInto(nil, p, blockBytes)
+	if err != nil {
+		return nil, err
+	}
+	return cmds, nil
+}
+
+// parseBatchInto is parseBatch appending into a recycled slice: the
+// server's read loop passes its batch set's wcmds[:0] so steady-state
+// decoding allocates nothing. Decoded Data fields alias p.
+func parseBatchInto(cmds []wireCmd, p []byte, blockBytes int) ([]wireCmd, error) {
 	c := cursor{p: p}
 	n := int(c.u16())
-	cmds := make([]wireCmd, 0, n)
 	for i := 0; i < n; i++ {
 		cmd := wireCmd{Op: c.u8(), Tag: c.u64(), LBA: c.u64()}
 		cmd.Data = c.take(int(c.u32()))
@@ -345,19 +385,19 @@ func parseBatch(p []byte, blockBytes int) ([]wireCmd, error) {
 		switch nvme.Opcode(cmd.Op) {
 		case nvme.OpWrite:
 			if len(cmd.Data) != blockBytes {
-				return nil, fmt.Errorf("%w: write of %d bytes, want %d", errMalformed, len(cmd.Data), blockBytes)
+				return cmds, fmt.Errorf("%w: write of %d bytes, want %d", errMalformed, len(cmd.Data), blockBytes)
 			}
 		case nvme.OpRead, nvme.OpTrim:
 			if len(cmd.Data) != 0 {
-				return nil, fmt.Errorf("%w: %s carries %d data bytes", errMalformed, nvme.Opcode(cmd.Op), len(cmd.Data))
+				return cmds, fmt.Errorf("%w: %s carries %d data bytes", errMalformed, nvme.Opcode(cmd.Op), len(cmd.Data))
 			}
 		default:
-			return nil, fmt.Errorf("%w: unknown opcode %d", errMalformed, cmd.Op)
+			return cmds, fmt.Errorf("%w: unknown opcode %d", errMalformed, cmd.Op)
 		}
 		cmds = append(cmds, cmd)
 	}
 	if err := c.done(); err != nil {
-		return nil, err
+		return cmds, err
 	}
 	return cmds, nil
 }
@@ -382,9 +422,18 @@ func appendCompletions(b []byte, comps []wireCompletion) []byte {
 }
 
 func parseCompletions(p []byte) ([]wireCompletion, error) {
+	comps, err := parseCompletionsInto(nil, p)
+	if err != nil {
+		return nil, err
+	}
+	return comps, nil
+}
+
+// parseCompletionsInto is parseCompletions appending into a recycled
+// slice (the client's Ring scratch). Decoded Data fields alias p.
+func parseCompletionsInto(comps []wireCompletion, p []byte) ([]wireCompletion, error) {
 	c := cursor{p: p}
 	n := int(c.u16())
-	comps := make([]wireCompletion, 0, n)
 	for i := 0; i < n; i++ {
 		cp := wireCompletion{Tag: c.u64(), Status: Status(c.u8())}
 		cp.Mapped = c.u8()&1 != 0
@@ -396,7 +445,7 @@ func parseCompletions(p []byte) ([]wireCompletion, error) {
 		comps = append(comps, cp)
 	}
 	if err := c.done(); err != nil {
-		return nil, err
+		return comps, err
 	}
 	return comps, nil
 }
