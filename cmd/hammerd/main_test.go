@@ -71,6 +71,9 @@ func TestRunFlagAndConfigErrors(t *testing.T) {
 		{"bad profile", []string{"-profile", "granite"}, 1},
 		{"zero tenants", []string{"-tenants", "0"}, 1},
 		{"fault rate out of range", []string{"-fault-rate", "1.5"}, 1},
+		{"bad placement", []string{"-devices", "2", "-placement", "mosaic"}, 1},
+		{"bad pin", []string{"-devices", "2", "-placement", "pinned", "-pin", "garbage"}, 1},
+		{"record in fleet mode", []string{"-devices", "2", "-record", "x.jsonl"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,6 +82,27 @@ func TestRunFlagAndConfigErrors(t *testing.T) {
 				t.Errorf("run(%v) = %d, want %d; stderr:\n%s", tc.args, code, tc.want, stderr.String())
 			}
 		})
+	}
+}
+
+// TestRunFleetDrainExitsZero: fleet mode comes up, drains on a done
+// context, and its exit report carries the merged fleet metrics.
+func TestRunFleetDrainExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(canceled(), []string{
+		"-listen", "127.0.0.1:0", "-devices", "2", "-tenants", "2",
+		"-admin", "127.0.0.1:0", "-metrics", "table",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	for _, want := range []string{
+		"serving fleet of 2 devices", "fleet admin on", "hammerd: drained",
+		"fleet: routed=0", "fleet_sessions_routed_total", "fleet_devices",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command hammerload is the closed-loop multi-tenant load generator for
 // cmd/hammerd: it opens many concurrent transport sessions against a
-// served device, drives batched command streams through them, and reports
-// batch round-trip latency percentiles and goodput.
+// served device (or fleet frontend), drives batched command streams
+// through them, and reports batch round-trip latency percentiles and
+// goodput.
 //
 // Patterns:
 //
@@ -10,14 +11,30 @@
 //     aggressor set once, then replays reads of those trimmed LBAs
 //     (minimal-cost L2P activations, §4.1) over the wire
 //   - seq:     sequential reads across the namespace
+//   - verify:  write tenant-tagged blocks, read each back, and count
+//     corruptions — any mapped read whose payload does not carry this
+//     tenant's tag and the block's own LBA
+//
+// -aggressor-tenants pins specific tenants to the hammer pattern while
+// everyone else runs -pattern: the victim/aggressor co-placement mix the
+// blast-radius experiment uses (aggressors hammer their device, victims
+// verify their data on the same or other devices).
+//
+// Sessions survive migrations: a refusal or dropped connection during a
+// fleet migration makes the session redial and resubmit its unacknowledged
+// batch — the server's drain guarantees an interrupted batch was either
+// fully acknowledged or never executed, so nothing is lost or doubled
+// across a cutover.
 //
 // Example:
 //
 //	hammerload -addr 127.0.0.1:7701 -sessions 64 -tenants 4 -ops 2000 -pattern hammer
+//	hammerload -addr 127.0.0.1:7701 -tenants 8 -pattern verify -aggressor-tenants 1,5
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +42,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,26 +56,29 @@ import (
 
 // result is one session's contribution to the report.
 type result struct {
-	ops      int
-	errs     int
-	mapped   int
-	batchRTT stats.Sample
-	fatalErr error
+	ops        int
+	errs       int
+	mapped     int
+	corrupt    int
+	reconnects int
+	batchRTT   stats.Sample
+	fatalErr   error
 }
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7701", "hammerd address")
 		sessions = flag.Int("sessions", 64, "concurrent sessions")
-		tenants  = flag.Int("tenants", 4, "namespaces to spread sessions across (must be <= hammerd -tenants)")
+		tenants  = flag.Int("tenants", 4, "namespaces to spread sessions across (must be <= served tenants)")
 		ops      = flag.Int("ops", 2000, "commands per session")
 		batch    = flag.Int("batch", 16, "commands per doorbell batch")
-		pattern  = flag.String("pattern", "uniform", "workload: uniform | hammer | seq")
+		pattern  = flag.String("pattern", "uniform", "workload: uniform | hammer | seq | verify")
 		readFrac = flag.Float64("read-frac", 0.8, "read fraction for the uniform pattern")
 		pathFlag = flag.String("path", "direct", "submission path: direct | host-fs")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
-		dialWait = flag.Duration("dial-wait", 10*time.Second, "how long to retry the initial connection (server startup grace)")
+		dialWait = flag.Duration("dial-wait", 10*time.Second, "how long to retry connections (server startup and migration grace)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		aggrList = flag.String("aggressor-tenants", "", "comma-separated tenants forced onto the hammer pattern")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
@@ -76,9 +99,13 @@ func main() {
 		fatal(fmt.Errorf("unknown path %q", *pathFlag))
 	}
 	switch *pattern {
-	case "uniform", "hammer", "seq":
+	case "uniform", "hammer", "seq", "verify":
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	aggressors, err := parseTenantSet(*aggrList)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *cpuProf != "" {
@@ -105,6 +132,9 @@ func main() {
 
 	fmt.Printf("hammerload: %d sessions x %d ops (batch %d, pattern %s) against %s\n",
 		*sessions, *ops, *batch, *pattern, *addr)
+	if len(aggressors) > 0 {
+		fmt.Printf("aggressor tenants (hammer pattern): %s\n", tenantSetString(aggressors))
+	}
 	results := make([]result, *sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -112,17 +142,23 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			tenant := 1 + i%*tenants
+			pat := *pattern
+			if aggressors[tenant] {
+				pat = "hammer"
+			}
 			cfg := transport.ClientConfig{
-				NSID:   1 + i%*tenants,
+				NSID:   tenant,
 				Path:   path,
 				Window: *batch,
 			}
 			results[i] = runSession(ctx, *addr, cfg, sessionParams{
 				ops:        *ops,
 				batch:      *batch,
-				pattern:    *pattern,
+				pattern:    pat,
 				readFrac:   *readFrac,
 				blockBytes: blockBytes,
+				grace:      *dialWait,
 				rng:        rand.New(rand.NewSource(*seed + int64(i)*7919)),
 			})
 		}(i)
@@ -131,12 +167,14 @@ func main() {
 	elapsed := time.Since(start)
 
 	var all stats.Sample
-	total, errCount, mapped, failedSessions := 0, 0, 0, 0
+	total, errCount, mapped, corrupt, reconnects, failedSessions := 0, 0, 0, 0, 0, 0
 	for i := range results {
 		r := &results[i]
 		total += r.ops
 		errCount += r.errs
 		mapped += r.mapped
+		corrupt += r.corrupt
+		reconnects += r.reconnects
 		all.Merge(&r.batchRTT)
 		if r.fatalErr != nil {
 			failedSessions++
@@ -147,6 +185,12 @@ func main() {
 	}
 	fmt.Printf("completed: %d ops (%d with command errors, %d mapped reads) over %d/%d sessions in %v\n",
 		total, errCount, mapped, *sessions-failedSessions, *sessions, elapsed.Round(time.Millisecond))
+	if reconnects > 0 {
+		fmt.Printf("reconnects: %d sessions redialed across drains/migrations\n", reconnects)
+	}
+	if *pattern == "verify" || len(aggressors) > 0 {
+		fmt.Printf("verify: %d corrupt reads\n", corrupt)
+	}
 	if all.N() > 0 {
 		toMS := func(s float64) float64 { return s * 1e3 }
 		fmt.Printf("batch RTT: p50 %.3fms p95 %.3fms p99 %.3fms max %.3fms (%d batches)\n",
@@ -169,10 +213,45 @@ func main() {
 	if total == 0 {
 		fatal(errors.New("no operations completed"))
 	}
+	if corrupt > 0 {
+		fatal(fmt.Errorf("%d corrupt reads", corrupt))
+	}
 }
 
-// dialRetry keeps dialing until the server answers, the grace period runs
-// out, or ctx dies.
+// parseTenantSet decodes a comma-separated tenant list into a set.
+func parseTenantSet(s string) (map[int]bool, error) {
+	set := map[int]bool{}
+	if s == "" {
+		return set, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("-aggressor-tenants: bad tenant %q", part)
+		}
+		set[t] = true
+	}
+	return set, nil
+}
+
+func tenantSetString(set map[int]bool) string {
+	ids := make([]int, 0, len(set))
+	for t := range set {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, t := range ids {
+		parts[i] = strconv.Itoa(t)
+	}
+	return strings.Join(parts, ",")
+}
+
+// dialRetry keeps dialing until the server accepts the session, the grace
+// period runs out, or ctx dies. StatusShutdown refusals retry: they are
+// the server draining or a fleet migrating the tenant's device, and the
+// route comes back once the cutover completes. Any other remote refusal
+// (unknown tenant, bad protocol) is final.
 func dialRetry(ctx context.Context, addr string, cfg transport.ClientConfig, grace time.Duration) (*transport.Client, error) {
 	deadline := time.Now().Add(grace)
 	for {
@@ -181,7 +260,7 @@ func dialRetry(ctx context.Context, addr string, cfg transport.ClientConfig, gra
 			return c, nil
 		}
 		var remote *transport.RemoteError
-		if errors.As(err, &remote) {
+		if errors.As(err, &remote) && remote.Status != transport.StatusShutdown {
 			// The server answered and said no; retrying won't change that.
 			return nil, err
 		}
@@ -202,18 +281,28 @@ type sessionParams struct {
 	pattern    string
 	readFrac   float64
 	blockBytes int
+	grace      time.Duration
 	rng        *rand.Rand
 }
 
-// runSession drives one closed loop: build a batch, ring, repeat.
+// maxBatchRetries bounds how many times one batch is resubmitted across
+// reconnects before the session gives up.
+const maxBatchRetries = 5
+
+// runSession drives one closed loop: build a batch, ring, repeat. A lost
+// session (connection fault, server drain, fleet migration) redials and
+// resubmits the in-flight batch: a failed Ring means the batch was never
+// acknowledged, and the server's drain semantics guarantee an unread batch
+// never executed, so the resubmit is exactly-once across a migration
+// cutover.
 func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p sessionParams) result {
 	var res result
-	c, err := transport.Dial(ctx, addr, cfg)
+	c, err := dialRetry(ctx, addr, cfg, p.grace)
 	if err != nil {
 		res.fatalErr = err
 		return res
 	}
-	defer c.Close()
+	defer func() { c.Close() }()
 	numLBAs := c.NumLBAs()
 	if numLBAs == 0 {
 		res.fatalErr = errors.New("empty namespace")
@@ -242,6 +331,7 @@ func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p 
 	for i := range bufs {
 		bufs[i] = make([]byte, p.blockBytes)
 	}
+	cmds := make([]nvme.Command, p.batch)
 	for done := 0; done < p.ops; {
 		n := p.batch
 		if rem := p.ops - done; rem < n {
@@ -256,6 +346,19 @@ func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p 
 			case "seq":
 				cmd.Op = nvme.OpRead
 				cmd.LBA = ftl.LBA(seq % numLBAs)
+			case "verify":
+				// Write a tagged block, then read it straight back (batches
+				// execute in order within a session): the payload carries
+				// the tenant and the LBA, so any mapped read returning a
+				// different tag is a corruption — wrong tenant's data or
+				// wrong block.
+				cmd.LBA = ftl.LBA((seq / 2) % numLBAs)
+				if seq%2 == 0 {
+					cmd.Op = nvme.OpWrite
+					stampBlock(bufs[i], cfg.NSID, uint64(cmd.LBA))
+				} else {
+					cmd.Op = nvme.OpRead
+				}
 			default: // uniform
 				cmd.LBA = ftl.LBA(p.rng.Uint64() % numLBAs)
 				if p.rng.Float64() < p.readFrac {
@@ -265,18 +368,44 @@ func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p 
 				}
 			}
 			seq++
-			if err := c.Submit(cmd); err != nil {
+			cmds[i] = cmd
+		}
+
+		// Submit and ring, redialing on a lost session. Submit errors are
+		// only queue/broken-session states, so they share the retry path.
+		var rtt time.Duration
+		for attempt := 0; ; attempt++ {
+			err := func() error {
+				for i := 0; i < n; i++ {
+					if err := c.Submit(cmds[i]); err != nil {
+						return err
+					}
+				}
+				t0 := time.Now()
+				if _, err := c.Ring(ctx); err != nil {
+					return err
+				}
+				rtt = time.Since(t0)
+				return nil
+			}()
+			if err == nil {
+				break
+			}
+			if attempt >= maxBatchRetries || ctx.Err() != nil {
 				res.fatalErr = err
 				return res
 			}
+			c.Close()
+			nc, derr := dialRetry(ctx, addr, cfg, p.grace)
+			if derr != nil {
+				res.fatalErr = fmt.Errorf("reconnect after %v: %w", err, derr)
+				return res
+			}
+			c = nc
+			res.reconnects++
 		}
-		t0 := time.Now()
-		if _, err := c.Ring(ctx); err != nil {
-			res.fatalErr = err
-			return res
-		}
-		res.batchRTT.Add(time.Since(t0).Seconds())
-		for _, comp := range c.Completions() {
+		res.batchRTT.Add(rtt.Seconds())
+		for i, comp := range c.Completions() {
 			res.ops++
 			if comp.Err != nil {
 				res.errs++
@@ -284,10 +413,31 @@ func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p 
 			if comp.Mapped {
 				res.mapped++
 			}
+			if p.pattern == "verify" && cmds[i].Op == nvme.OpRead &&
+				comp.Err == nil && comp.Mapped &&
+				!checkBlock(bufs[i], cfg.NSID, uint64(cmds[i].LBA)) {
+				res.corrupt++
+			}
 		}
 		done += n
 	}
 	return res
+}
+
+// stampBlock tags a block with its owner and address: tenant at [0:8),
+// LBA at [8:16), tenant byte fill after.
+func stampBlock(buf []byte, tenant int, lba uint64) {
+	for i := range buf {
+		buf[i] = byte(tenant)
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(tenant))
+	binary.LittleEndian.PutUint64(buf[8:], lba)
+}
+
+// checkBlock verifies a stamp written by stampBlock.
+func checkBlock(buf []byte, tenant int, lba uint64) bool {
+	return binary.LittleEndian.Uint64(buf) == uint64(tenant) &&
+		binary.LittleEndian.Uint64(buf[8:]) == lba
 }
 
 func fatal(err error) {

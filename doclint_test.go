@@ -267,3 +267,67 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 		}
 	}
 }
+
+// TestEveryInternalPackageHasDocFile tightens the gate for internal/:
+// the package comment must live in a dedicated doc.go (one predictable
+// place to read and review) and must be non-trivial — a bare
+// "Package x does x." stub does not document a subsystem.
+func TestEveryInternalPackageHasDocFile(t *testing.T) {
+	const minDocLen = 120 // characters of doc text, not counting the package clause
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		path := filepath.Join("internal", e.Name(), "doc.go")
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("internal/%s has no parseable doc.go: %v", e.Name(), err)
+			continue
+		}
+		doc := ""
+		if f.Doc != nil {
+			doc = strings.TrimSpace(f.Doc.Text())
+		}
+		if len(doc) < minDocLen {
+			t.Errorf("%s: package comment is %d characters, want a real package doc (>= %d)",
+				path, len(doc), minDocLen)
+		}
+	}
+}
+
+// TestDocsIndexComplete is the docs-reachability gate: every page under
+// docs/ must be linked from the docs index (docs/README.md), and the
+// index itself must be linked from the top-level README. A doc nobody can
+// navigate to is a doc nobody reads — adding a docs page without indexing
+// it fails CI.
+func TestDocsIndexComplete(t *testing.T) {
+	index, err := os.ReadFile(filepath.Join("docs", "README.md"))
+	if err != nil {
+		t.Fatalf("docs/README.md (the docs index) is missing: %v", err)
+	}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == "README.md" || !strings.HasSuffix(name, ".md") {
+			continue
+		}
+		if !strings.Contains(string(index), name) {
+			t.Errorf("docs/%s is not linked from the docs index (docs/README.md)", name)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "docs/README.md") {
+		t.Error("top-level README.md does not link the docs index (docs/README.md)")
+	}
+}

@@ -1,10 +1,3 @@
-// Package ecc implements the single-error-correct, double-error-detect
-// (SEC-DED) Hamming(72,64) code used by ECC DRAM modules: 64 data bits are
-// protected by 8 check bits. It is the "strengthen ECC" mitigation from §5
-// of the paper — a single rowhammer bitflip inside one 64-bit word is
-// silently corrected, and two flips in the same word are detected (the
-// device can fail the read loudly instead of silently serving corrupted
-// translations).
 package ecc
 
 import "math/bits"

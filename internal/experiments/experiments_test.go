@@ -16,8 +16,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("registry has %d experiments, want 11", len(all))
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -116,6 +116,7 @@ func TestQuickExperimentsProduceOutput(t *testing.T) {
 		{"prob", "cycles to 50%: 10"},
 		{"table1", "DDR3"},
 		{"figure2", "YES"},
+		{"blast", "remote tenant 4 (device 1): state hash unchanged"},
 	} {
 		e, err := ByID(tc.id)
 		if err != nil {

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"mitig", "§5", "mitigations", Mitigations5},
 		{"ablations", "DESIGN §5", "design-choice ablations (sidedness, half-double, amplification, L2P layout)", Ablations},
 		{"faults", "docs/FAULTS.md", "robustness campaign: goodput and attack success vs injected fault rate", FaultsRobustness},
+		{"blast", "docs/FLEET.md", "fleet blast radius: placement bounds rowhammer reach to one device", Blast},
 	}
 }
 

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"ftlhammer/internal/transport"
+)
+
+// ErrFrontendClosed is returned by ServeFrontend after a graceful close,
+// mirroring transport.ErrServerClosed.
+var ErrFrontendClosed = errors.New("fleet: frontend closed")
+
+// ServeFrontend accepts client sessions on ln and routes each to the
+// member owning its tenant, speaking the unmodified transport protocol:
+// the frontend reads the client hello (whose namespace ID is the
+// fleet-wide tenant ID), resolves the route, opens the backend leg with
+// the namespace rewritten to the device-local one, and from then on
+// splices bytes both ways — the backend's welcome, batches and
+// completions flow through untouched.
+//
+// Sessions for migrating or moved tenants are refused with StatusShutdown
+// (clients retry; moved refusals name the new instance), unknown tenants
+// with StatusInvalid. A refusal is the only alternative to a correct
+// route: the table flips a route to migrating before its device drains
+// and back only after the restore is verified, so a session is never
+// spliced to a device that no longer (or does not yet) own the tenant's
+// state.
+//
+// ServeFrontend returns ErrFrontendClosed once ctx is canceled and every
+// spliced session has ended (member drain closes the backend legs).
+func (f *Fleet) ServeFrontend(ctx context.Context, ln net.Listener) error {
+	f.feAddr.Store(ln.Addr().String())
+	f.mu.Lock()
+	f.feLn = ln
+	f.mu.Unlock()
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-stop:
+		}
+	}()
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil {
+				acceptErr = err
+			}
+			break
+		}
+		f.feWG.Add(1)
+		go func() {
+			defer f.feWG.Done()
+			f.route(conn)
+		}()
+	}
+	close(stop)
+	f.feWG.Wait()
+	if acceptErr != nil {
+		return acceptErr
+	}
+	return ErrFrontendClosed
+}
+
+// FrontendAddr returns the frontend's listen address ("" before
+// ServeFrontend).
+func (f *Fleet) FrontendAddr() string {
+	if v := f.feAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// route runs one client connection: read the hello, resolve the tenant,
+// splice or refuse.
+func (f *Fleet) route(conn net.Conn) {
+	defer conn.Close()
+	h, err := transport.ReadHello(conn, f.cfg.HandshakeTimeout)
+	if err != nil {
+		f.refused.Add(1)
+		return
+	}
+	r, err := f.table.Lookup(h.NSID)
+	if err != nil {
+		f.unknownTenants.Add(1)
+		f.refused.Add(1)
+		transport.Refuse(conn, transport.StatusInvalid, err.Error())
+		return
+	}
+	switch r.State {
+	case RouteMigrating:
+		f.refused.Add(1)
+		transport.Refuse(conn, transport.StatusShutdown,
+			fmt.Sprintf("fleet: tenant %d is migrating; retry", r.Tenant))
+		return
+	case RouteMoved:
+		f.refused.Add(1)
+		transport.Refuse(conn, transport.StatusShutdown,
+			fmt.Sprintf("fleet: tenant %d moved to %s", r.Tenant, r.MovedTo))
+		return
+	}
+	m := f.Member(r.Device)
+	if m == nil || m.addr == "" {
+		f.refused.Add(1)
+		transport.Refuse(conn, transport.StatusShutdown,
+			fmt.Sprintf("fleet: device %d is not serving", r.Device))
+		return
+	}
+	backend, err := net.Dial("tcp", m.addr)
+	if err != nil {
+		// The member began draining between lookup and dial (a migration
+		// racing this handshake). Refuse; the retrying client lands on the
+		// new route once the transfer completes.
+		f.refused.Add(1)
+		transport.Refuse(conn, transport.StatusShutdown,
+			fmt.Sprintf("fleet: device %d is draining; retry", r.Device))
+		return
+	}
+	defer backend.Close()
+	if err := transport.SendHello(backend, transport.Hello{
+		NSID:   r.NSID,
+		Path:   h.Path,
+		Window: h.Window,
+	}); err != nil {
+		f.refused.Add(1)
+		transport.Refuse(conn, transport.StatusShutdown, "fleet: backend handshake failed")
+		return
+	}
+	f.routed.Add(1)
+	splice(conn, backend)
+}
+
+// splice shuttles bytes both ways until both directions end, half-closing
+// each leg as its feed finishes so the peer sees a clean EOF: when the
+// client stops sending (bye or disconnect) the backend drains and flushes
+// its remaining completions; when the backend closes (drain complete) the
+// client sees the session end exactly as it would against a single-device
+// server.
+func splice(client, backend net.Conn) {
+	done := make(chan struct{}, 2)
+	shuttle := func(dst, src net.Conn) {
+		io.Copy(dst, src)
+		if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		} else {
+			dst.Close()
+		}
+		done <- struct{}{}
+	}
+	go shuttle(backend, client)
+	shuttle(client, backend)
+	// The backend leg has ended; its close unblocks the client-side copy
+	// (or already has), so both tokens arrive promptly.
+	client.Close()
+	<-done
+	<-done
+}

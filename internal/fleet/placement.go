@@ -1,0 +1,350 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Policy decides which device a tenant lands on. Placement is the fleet's
+// blast-radius dial: co-placed tenants share one device's DRAM — the
+// paper's §6 shared-SSD exposure — while tenants on distinct devices are
+// physically unreachable to each other's rowhammering.
+type Policy int
+
+const (
+	// PolicySpread round-robins tenants across devices: tenant i lands on
+	// device i mod N. Consecutive tenants never share a device — the
+	// minimal-co-placement default.
+	PolicySpread Policy = iota
+	// PolicyPack fills devices in order: the first device takes tenants
+	// until its slots are full, then the next. Consecutive tenants share
+	// a device — maximal co-placement, the worst case the blast-radius
+	// experiment measures.
+	PolicyPack
+	// PolicyPinned honors an explicit tenant→device map; unpinned tenants
+	// fill remaining slots lowest-device-first.
+	PolicyPinned
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicySpread:
+		return "spread"
+	case PolicyPack:
+		return "pack"
+	case PolicyPinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "spread":
+		return PolicySpread, nil
+	case "pack":
+		return PolicyPack, nil
+	case "pinned":
+		return PolicyPinned, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown placement policy %q (want spread, pack or pinned)", s)
+	}
+}
+
+// Placement is a policy plus its pins (PolicyPinned only).
+type Placement struct {
+	Policy Policy
+	// Pins maps global tenant ID (1-based) → device index (0-based).
+	Pins map[int]int
+}
+
+// ParsePins decodes the cmd/hammerd -pin flag: "tenant=device" pairs,
+// comma-separated, e.g. "1=0,2=0,7=3".
+func ParsePins(s string) (map[int]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	pins := map[int]int{}
+	for _, pair := range strings.Split(s, ",") {
+		t, d, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: malformed pin %q (want tenant=device)", pair)
+		}
+		tenant, err := strconv.Atoi(t)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: pin tenant %q: %w", t, err)
+		}
+		device, err := strconv.Atoi(d)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: pin device %q: %w", d, err)
+		}
+		if _, dup := pins[tenant]; dup {
+			return nil, fmt.Errorf("fleet: tenant %d pinned twice", tenant)
+		}
+		pins[tenant] = device
+	}
+	return pins, nil
+}
+
+// RouteState is a routing-table entry's lifecycle.
+type RouteState int
+
+const (
+	// RouteActive routes sessions to the tenant's device.
+	RouteActive RouteState = iota
+	// RouteMigrating refuses new sessions while the tenant's device is
+	// mid-migration (drain → checkpoint → transfer → restore).
+	RouteMigrating
+	// RouteMoved refuses with a pointer at the instance now serving the
+	// tenant (cross-process migration).
+	RouteMoved
+)
+
+func (s RouteState) String() string {
+	switch s {
+	case RouteActive:
+		return "active"
+	case RouteMigrating:
+		return "migrating"
+	case RouteMoved:
+		return "moved"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Route binds one fleet-wide tenant to a device-local namespace.
+type Route struct {
+	// Tenant is the fleet-wide tenant ID — the NSID clients put in their
+	// hello.
+	Tenant int
+	// Device is the member index currently owning the tenant's state.
+	Device int
+	// NSID is the device-local namespace the tenant's data lives in.
+	NSID int
+	// State gates admission; MovedTo carries the new instance's address
+	// for RouteMoved.
+	State   RouteState
+	MovedTo string
+}
+
+// ErrUnknownTenant reports a hello naming a tenant the table never placed.
+var ErrUnknownTenant = errors.New("fleet: unknown tenant")
+
+// Table is the fleet's tenant→device routing and placement table. Reads
+// (the frontend's per-handshake lookups) take a shared lock; migrations
+// flip route states under the exclusive lock, so a session can never be
+// admitted against a device mid-transfer.
+type Table struct {
+	mu     sync.RWMutex
+	routes map[int]*Route
+}
+
+// NewTable places devices×slots tenants (IDs 1..devices*slots) per the
+// placement. Every device exposes namespaces 1..slots; the table is the
+// only place fleet-wide tenant IDs and device-local NSIDs meet.
+func NewTable(devices, slots int, p Placement) (*Table, error) {
+	if devices < 1 || slots < 1 {
+		return nil, fmt.Errorf("fleet: table needs ≥1 device and ≥1 slot, got %d×%d", devices, slots)
+	}
+	total := devices * slots
+	t := &Table{routes: make(map[int]*Route, total)}
+	used := make([]int, devices) // slots consumed per device
+	place := func(tenant, device int) error {
+		if device < 0 || device >= devices {
+			return fmt.Errorf("fleet: tenant %d pinned to device %d, fleet has %d", tenant, device, devices)
+		}
+		if used[device] >= slots {
+			return fmt.Errorf("fleet: device %d over capacity (%d slots); cannot place tenant %d", device, slots, tenant)
+		}
+		used[device]++
+		t.routes[tenant] = &Route{Tenant: tenant, Device: device, NSID: used[device]}
+		return nil
+	}
+	switch p.Policy {
+	case PolicySpread:
+		for i := 0; i < total; i++ {
+			if err := place(i+1, i%devices); err != nil {
+				return nil, err
+			}
+		}
+	case PolicyPack:
+		for i := 0; i < total; i++ {
+			if err := place(i+1, i/slots); err != nil {
+				return nil, err
+			}
+		}
+	case PolicyPinned:
+		for tenant := range p.Pins {
+			if tenant < 1 || tenant > total {
+				return nil, fmt.Errorf("fleet: pinned tenant %d outside 1..%d", tenant, total)
+			}
+		}
+		// Pinned tenants first (in tenant order, so placement is
+		// deterministic), then the rest fill lowest-device-first.
+		var pinned []int
+		for tenant := range p.Pins {
+			pinned = append(pinned, tenant)
+		}
+		sort.Ints(pinned)
+		for _, tenant := range pinned {
+			if err := place(tenant, p.Pins[tenant]); err != nil {
+				return nil, err
+			}
+		}
+		for i := 1; i <= total; i++ {
+			if _, done := t.routes[i]; done {
+				continue
+			}
+			dev := 0
+			for dev < devices && used[dev] >= slots {
+				dev++
+			}
+			if err := place(i, dev); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown placement policy %v", p.Policy)
+	}
+	return t, nil
+}
+
+// Lookup resolves a tenant for admission. The returned Route is a copy;
+// ErrUnknownTenant reports an unplaced tenant.
+func (t *Table) Lookup(tenant int) (Route, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.routes[tenant]
+	if !ok {
+		return Route{}, fmt.Errorf("%w %d", ErrUnknownTenant, tenant)
+	}
+	return *r, nil
+}
+
+// Tenants returns every placed tenant ID in ascending order.
+func (t *Table) Tenants() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int, 0, len(t.routes))
+	for id := range t.routes {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TenantsOn returns the tenants currently routed to a device, ascending.
+func (t *Table) TenantsOn(device int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for id, r := range t.routes {
+		if r.Device == device {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Routes returns a copy of every route, in tenant order (status surface).
+func (t *Table) Routes() []Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Route, 0, len(t.routes))
+	for _, r := range t.routes {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// BeginMigration flips every active route on device to RouteMigrating and
+// returns them (tenant order). It refuses when the device has no active
+// routes — nothing to migrate, or a migration already in flight.
+func (t *Table) BeginMigration(device int) ([]Route, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var moved []Route
+	for _, r := range t.routes {
+		if r.Device != device {
+			continue
+		}
+		if r.State != RouteActive {
+			return nil, fmt.Errorf("fleet: tenant %d on device %d is %v; migration already in flight?", r.Tenant, device, r.State)
+		}
+		moved = append(moved, *r)
+	}
+	if len(moved) == 0 {
+		return nil, fmt.Errorf("fleet: device %d has no active tenants to migrate", device)
+	}
+	for _, r := range moved {
+		t.routes[r.Tenant].State = RouteMigrating
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i].Tenant < moved[j].Tenant })
+	return moved, nil
+}
+
+// CompleteMigration re-points every migrating route on src at dst and
+// reactivates it (device-local NSIDs travel with the state).
+func (t *Table) CompleteMigration(src, dst int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.routes {
+		if r.Device == src && r.State == RouteMigrating {
+			r.Device = dst
+			r.State = RouteActive
+		}
+	}
+}
+
+// CompleteMove marks every migrating route on src as moved to addr — the
+// cross-process outcome, where another instance now serves the tenants.
+func (t *Table) CompleteMove(src int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.routes {
+		if r.Device == src && r.State == RouteMigrating {
+			r.State = RouteMoved
+			r.MovedTo = addr
+		}
+	}
+}
+
+// AbortMigration reactivates src's migrating routes after a failed
+// transfer (the source device still holds the authoritative state).
+func (t *Table) AbortMigration(src int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.routes {
+		if r.Device == src && r.State == RouteMigrating {
+			r.State = RouteActive
+		}
+	}
+}
+
+// AddRoutes installs active routes for tenants received from another
+// instance, refusing collisions with tenants this table already serves.
+func (t *Table) AddRoutes(rs []Route) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rs {
+		if _, exists := t.routes[r.Tenant]; exists {
+			return fmt.Errorf("fleet: tenant %d already placed here", r.Tenant)
+		}
+	}
+	for _, r := range rs {
+		nr := r
+		nr.State = RouteActive
+		nr.MovedTo = ""
+		t.routes[r.Tenant] = &nr
+	}
+	return nil
+}

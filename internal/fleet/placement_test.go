@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustTable(t *testing.T, devices, slots int, p Placement) *Table {
+	t.Helper()
+	tab, err := NewTable(devices, slots, p)
+	if err != nil {
+		t.Fatalf("NewTable(%d, %d, %v): %v", devices, slots, p.Policy, err)
+	}
+	return tab
+}
+
+func wantRoute(t *testing.T, tab *Table, tenant, device, nsid int) {
+	t.Helper()
+	r, err := tab.Lookup(tenant)
+	if err != nil {
+		t.Fatalf("Lookup(%d): %v", tenant, err)
+	}
+	if r.Device != device || r.NSID != nsid {
+		t.Errorf("tenant %d: placed on device %d nsid %d, want device %d nsid %d",
+			tenant, r.Device, r.NSID, device, nsid)
+	}
+}
+
+func TestSpreadPlacement(t *testing.T) {
+	// 4 devices × 2 slots: consecutive tenants land on consecutive devices.
+	tab := mustTable(t, 4, 2, Placement{Policy: PolicySpread})
+	wantRoute(t, tab, 1, 0, 1)
+	wantRoute(t, tab, 2, 1, 1)
+	wantRoute(t, tab, 3, 2, 1)
+	wantRoute(t, tab, 4, 3, 1)
+	wantRoute(t, tab, 5, 0, 2)
+	wantRoute(t, tab, 8, 3, 2)
+	if got := tab.TenantsOn(0); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("TenantsOn(0) = %v, want [1 5]", got)
+	}
+}
+
+func TestPackPlacement(t *testing.T) {
+	// 2 devices × 3 slots: the first device fills before the second.
+	tab := mustTable(t, 2, 3, Placement{Policy: PolicyPack})
+	wantRoute(t, tab, 1, 0, 1)
+	wantRoute(t, tab, 2, 0, 2)
+	wantRoute(t, tab, 3, 0, 3)
+	wantRoute(t, tab, 4, 1, 1)
+	wantRoute(t, tab, 6, 1, 3)
+}
+
+func TestPinnedPlacement(t *testing.T) {
+	tab := mustTable(t, 2, 2, Placement{
+		Policy: PolicyPinned,
+		Pins:   map[int]int{1: 1, 4: 1},
+	})
+	wantRoute(t, tab, 1, 1, 1)
+	wantRoute(t, tab, 4, 1, 2)
+	// Unpinned tenants fill the remaining slots lowest-device-first.
+	wantRoute(t, tab, 2, 0, 1)
+	wantRoute(t, tab, 3, 0, 2)
+}
+
+func TestPinnedOverflowRejected(t *testing.T) {
+	_, err := NewTable(2, 1, Placement{
+		Policy: PolicyPinned,
+		Pins:   map[int]int{1: 0, 2: 0},
+	})
+	if err == nil {
+		t.Fatal("over-capacity pin set accepted")
+	}
+	_, err = NewTable(2, 1, Placement{Policy: PolicyPinned, Pins: map[int]int{1: 5}})
+	if err == nil {
+		t.Fatal("pin to a device beyond the fleet accepted")
+	}
+	_, err = NewTable(2, 1, Placement{Policy: PolicyPinned, Pins: map[int]int{9: 0}})
+	if err == nil {
+		t.Fatal("pin of a tenant beyond the fleet accepted")
+	}
+}
+
+func TestParsePins(t *testing.T) {
+	pins, err := ParsePins("1=0, 2=1,7=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pins) != 3 || pins[1] != 0 || pins[2] != 1 || pins[7] != 3 {
+		t.Errorf("ParsePins = %v", pins)
+	}
+	for _, bad := range []string{"1", "x=1", "1=y", "1=0,1=1"} {
+		if _, err := ParsePins(bad); err == nil {
+			t.Errorf("ParsePins(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{PolicySpread, PolicyPack, PolicyPinned} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("roundrobin"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLookupUnknownTenant(t *testing.T) {
+	tab := mustTable(t, 2, 2, Placement{Policy: PolicySpread})
+	_, err := tab.Lookup(99)
+	if !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("Lookup(99) = %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestMigrationRouteLifecycle(t *testing.T) {
+	tab := mustTable(t, 2, 2, Placement{Policy: PolicySpread})
+
+	routes, err := tab.BeginMigration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 || routes[0].Tenant != 1 || routes[1].Tenant != 3 {
+		t.Fatalf("BeginMigration(0) moved %v", routes)
+	}
+	if r, _ := tab.Lookup(1); r.State != RouteMigrating {
+		t.Errorf("tenant 1 state %v mid-migration", r.State)
+	}
+	if r, _ := tab.Lookup(2); r.State != RouteActive {
+		t.Errorf("tenant 2 (other device) state %v", r.State)
+	}
+	// A second migration of the same device must refuse while in flight.
+	if _, err := tab.BeginMigration(0); err == nil {
+		t.Error("concurrent second migration accepted")
+	}
+
+	tab.CompleteMigration(0, 2)
+	r, _ := tab.Lookup(1)
+	if r.State != RouteActive || r.Device != 2 || r.NSID != 1 {
+		t.Errorf("tenant 1 after completion: %+v", r)
+	}
+	if got := tab.TenantsOn(0); len(got) != 0 {
+		t.Errorf("device 0 still owns %v", got)
+	}
+
+	// Abort restores the source routes untouched.
+	if _, err := tab.BeginMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	tab.AbortMigration(1)
+	if r, _ := tab.Lookup(2); r.State != RouteActive || r.Device != 1 {
+		t.Errorf("tenant 2 after abort: %+v", r)
+	}
+
+	// CompleteMove parks routes at another instance.
+	if _, err := tab.BeginMigration(1); err != nil {
+		t.Fatal(err)
+	}
+	tab.CompleteMove(1, "host:1234")
+	if r, _ := tab.Lookup(2); r.State != RouteMoved || r.MovedTo != "host:1234" {
+		t.Errorf("tenant 2 after move: %+v", r)
+	}
+}
+
+func TestAddRoutesRejectsCollision(t *testing.T) {
+	tab := mustTable(t, 1, 2, Placement{Policy: PolicySpread})
+	if err := tab.AddRoutes([]Route{{Tenant: 1, Device: 1, NSID: 1}}); err == nil {
+		t.Fatal("colliding tenant accepted")
+	}
+	if err := tab.AddRoutes([]Route{{Tenant: 9, Device: 1, NSID: 1, State: RouteMoved, MovedTo: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tab.Lookup(9)
+	if err != nil || r.State != RouteActive || r.MovedTo != "" {
+		t.Errorf("received route %+v, %v; want active", r, err)
+	}
+}

@@ -1,0 +1,20 @@
+// Package guard is this reproduction's answer to the paper's concluding
+// open question — "whether there exists some principled way to ensure
+// end-to-end security isolation" — scoped down to the FTL-rowhammer
+// vector: a firmware-side anomaly detector with *targeted* throttling.
+//
+// The paper notes that globally "rate-limiting user IOs below the
+// rowhammering access rate ... is at odds with the overall performance
+// goals of NVMe" (§5). The guard instead exploits the attack's signature:
+// rowhammering must concentrate an enormous number of lookups on a tiny
+// number of L2P cache lines within one refresh window, something no
+// legitimate workload needs (a legitimate hot block is served from any
+// host-side cache; the device sees spatially spread traffic). The guard
+// tracks per-DRAM-row lookup frequency (the firmware knows its own
+// controller's address mapping) and throttles only the offending
+// namespace, and only while the signature persists.
+//
+// The same counters double as a detector: ObservedAttacks reports
+// namespaces whose traffic crossed the hammer signature, which an
+// operator can alert on even with enforcement disabled.
+package guard

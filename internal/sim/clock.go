@@ -1,11 +1,3 @@
-// Package sim provides the deterministic simulation substrate shared by all
-// device models in this repository: a virtual nanosecond clock and a
-// reproducible pseudo-random number generator.
-//
-// Everything in the reproduction is driven by virtual time. Request rates
-// (e.g. "3 million I/Os per second") advance the clock by exact intervals,
-// which makes statements like "N row activations within one 64 ms refresh
-// window" precise and platform-independent.
 package sim
 
 import "fmt"

@@ -1,0 +1,4 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to summarize experiment runs: counters, percentiles and fixed-width
+// histograms over float64 samples.
+package stats

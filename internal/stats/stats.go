@@ -1,6 +1,3 @@
-// Package stats provides the small numeric helpers the benchmark harness
-// uses to summarize experiment runs: counters, percentiles and fixed-width
-// histograms over float64 samples.
 package stats
 
 import (

@@ -47,7 +47,10 @@ func (s *Server) registerObs(r *obs.Registry) {
 		r.Counter("transport_bytes_read_total").Add(s.bytesIn.Load())
 		r.Counter("transport_bytes_written_total").Add(s.bytesOut.Load())
 		if st.activeMax > 0 {
-			r.Gauge("transport_sessions_active_max", obs.AggMax).SetMax(float64(st.activeMax))
+			// Volatile: the watermark depends on wall-clock session overlap
+			// (a new session's open can race the previous one's close), so
+			// it stays out of deterministic snapshots.
+			r.VolatileGauge("transport_sessions_active_max", obs.AggMax).SetMax(float64(st.activeMax))
 		}
 		r.Gauge("transport_engine_shards", obs.AggMax).SetMax(float64(len(s.shards)))
 		for i := range s.shardSt {

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ftlhammer/internal/nvme"
+)
+
+// Hello is the decoded client half of the handshake, exposed for routing
+// frontends (internal/fleet) that must see which namespace a session wants
+// before deciding which backend server gets the connection. The wire form
+// stays private; ReadHello/SendHello are the only way in and out.
+type Hello struct {
+	// NSID is the namespace the client asks to bind to. A fleet frontend
+	// treats it as the fleet-wide tenant ID and rewrites it to the
+	// device-local namespace before forwarding.
+	NSID int
+	// Path is the submission cost model the session requests.
+	Path nvme.Path
+	// Window is the requested inflight window (0 = server default).
+	Window int
+}
+
+// ReadHello consumes exactly the hello frame from conn, validating the
+// protocol version and path byte. timeout bounds how long the peer may
+// take to send it (the frontend's handshake deadline); the read deadline
+// is cleared again before returning. The connection stream is left
+// positioned exactly after the hello, so it can be spliced verbatim to a
+// backend server that has already been sent its own rewritten hello.
+func ReadHello(conn net.Conn, timeout time.Duration) (Hello, error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	typ, payload, err := readFrame(conn, 64)
+	if err != nil {
+		return Hello{}, err
+	}
+	if typ != frameHello {
+		return Hello{}, fmt.Errorf("%w: frame type %d, want hello", errMalformed, typ)
+	}
+	h, err := parseHello(payload)
+	if err != nil {
+		return Hello{}, err
+	}
+	if h.Version != ProtocolVersion {
+		return Hello{}, fmt.Errorf("transport: protocol version %d, want %d", h.Version, ProtocolVersion)
+	}
+	path, err := pathOf(h.Path)
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{NSID: int(h.NSID), Path: path, Window: int(h.Window)}, nil
+}
+
+// SendHello writes h as a hello frame — the client half of the handshake.
+// A routing frontend uses it to open the backend leg of a spliced session
+// with the namespace ID rewritten; everything after it (welcome included)
+// flows through the splice untouched.
+func SendHello(conn net.Conn, h Hello) error {
+	if h.NSID < 0 || h.NSID > 0xFFFF {
+		return fmt.Errorf("transport: namespace ID %d out of wire range", h.NSID)
+	}
+	if h.Window < 0 || h.Window > 0xFFFF {
+		return fmt.Errorf("transport: window %d out of wire range", h.Window)
+	}
+	return writeFrame(conn, frameHello, appendHello(nil, hello{
+		Version: ProtocolVersion,
+		NSID:    uint16(h.NSID),
+		Path:    pathByte(h.Path),
+		Window:  uint16(h.Window),
+	}))
+}
+
+// Refuse answers a handshake with a failure welcome — the same shape a
+// Server uses to reject a session — and leaves closing the connection to
+// the caller. Clients surface the status and message as a *RemoteError.
+func Refuse(conn net.Conn, st Status, msg string) error {
+	return writeFrame(conn, frameWelcome, appendWelcome(nil, welcome{
+		Version: ProtocolVersion,
+		Status:  st,
+		Msg:     msg,
+	}))
+}

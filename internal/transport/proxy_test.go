@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ftlhammer/internal/nvme"
+)
+
+// TestProxyHelloRoundTrip: SendHello's frame decodes through ReadHello
+// with every field intact, for both paths.
+func TestProxyHelloRoundTrip(t *testing.T) {
+	for _, h := range []Hello{
+		{NSID: 1, Path: nvme.PathDirect, Window: 0},
+		{NSID: 0xFFFF, Path: nvme.PathHostFS, Window: 4096},
+	} {
+		a, b := net.Pipe()
+		errc := make(chan error, 1)
+		go func() {
+			errc <- SendHello(a, h)
+		}()
+		got, err := ReadHello(b, time.Second)
+		if err != nil {
+			t.Fatalf("ReadHello(%+v): %v", h, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("SendHello(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Errorf("hello round trip: got %+v, want %+v", got, h)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestSendHelloRejectsOutOfRange(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	if err := SendHello(a, Hello{NSID: 0x10000}); err == nil {
+		t.Error("oversized NSID accepted")
+	}
+	if err := SendHello(a, Hello{NSID: 1, Window: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// TestReadHelloRejectsBadFrames: wrong frame type, bad version, and a
+// peer that never speaks all fail (the last via the timeout).
+func TestReadHelloRejectsBadFrames(t *testing.T) {
+	t.Run("wrong type", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go writeFrame(a, frameBye, nil)
+		if _, err := ReadHello(b, time.Second); err == nil {
+			t.Error("bye frame accepted as hello")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go writeFrame(a, frameHello, appendHello(nil, hello{Version: ProtocolVersion + 1, NSID: 1}))
+		if _, err := ReadHello(b, time.Second); err == nil {
+			t.Error("future protocol version accepted")
+		}
+	})
+	t.Run("silent peer", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		if _, err := ReadHello(b, 20*time.Millisecond); err == nil {
+			t.Error("silent peer did not time out")
+		}
+	})
+}
+
+// TestRefuseSurfacesAsRemoteError: a frontend refusal decodes client-side
+// exactly like a server rejection.
+func TestRefuseSurfacesAsRemoteError(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go Refuse(a, StatusShutdown, "fleet: tenant 3 is migrating; retry")
+	typ, payload, err := readFrame(b, 64+maxMsgLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameWelcome {
+		t.Fatalf("frame type %d, want welcome", typ)
+	}
+	w, err := parseWelcome(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Status != StatusShutdown || w.Msg != "fleet: tenant 3 is migrating; retry" {
+		t.Errorf("refusal decoded as %+v", w)
+	}
+	re := &RemoteError{Status: w.Status, Msg: w.Msg}
+	var target *RemoteError
+	if !errors.As(error(re), &target) {
+		t.Fatal("refusal is not a RemoteError")
+	}
+}

@@ -1,7 +1,3 @@
-// Package workload generates rate-controlled I/O request streams against
-// an NVMe namespace: the sequential-write setup phase of §3.1, uniform and
-// Zipf-distributed background traffic, and the alternating read pattern
-// that underlies the hammering workloads built in internal/core.
 package workload
 
 import (
