@@ -35,7 +35,7 @@ func main() {
 		targets    = flag.Int("targets", 64, "pointer targets per malicious block")
 		triples    = flag.Int("triples", 8, "triples hammered per cycle")
 		amplify    = flag.Int("amplify", 1, "firmware hammers per I/O (paper testbed: 5)")
-		mitigation = flag.String("mitigation", "none", "none | ecc | trr | para | refresh2x | cache | ratelimit | hashed | extent-only | guard")
+		mitigation = flag.String("mitigation", "none", "none | ecc | trr[:sampler] | para[:p] | refresh[:scale] | refresh2x | cache | ratelimit | hashed | extent-only | guard")
 		syncDecoys = flag.Bool("sync-decoys", false, "REF-synchronized decoy reads (TRR bypass)")
 		hunt       = flag.String("hunt", "victim-data-block-", "content marker to hunt for")
 		seed       = flag.Uint64("seed", 0xBEEF, "simulation seed")
@@ -123,7 +123,13 @@ func main() {
 		gcfg := guard.DefaultConfig()
 		cfg.Guard = &gcfg
 	default:
-		fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
+		// Parameterized in-DRAM zoo specs: trr:<sampler>, para:<p>,
+		// refresh:<scale> (docs/DEFENSES.md).
+		mc, err := dram.ParseMitigation(*mitigation)
+		if err != nil || mc.Mode == dram.MitNone {
+			fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
+		}
+		cfg.DRAM.Profile = cfg.DRAM.Profile.WithMitigation(mc)
 	}
 
 	if *faultRate < 0 || *faultRate > 1 {

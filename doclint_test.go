@@ -78,10 +78,14 @@ func constStrings(pkg *ast.Package) map[string]string {
 
 // TestDocsTrackCode is the docs-drift gate: every observability event kind
 // registered anywhere in the tree (obs.RegisterEventKind's first argument,
-// resolved through Ev* constants) must be documented in docs/METRICS.md or
-// docs/FAULTS.md, and every exported fault kind must be documented in
-// docs/FAULTS.md. Adding an event or fault kind without documenting it
-// fails CI.
+// resolved through Ev* constants) must be documented in docs/METRICS.md,
+// docs/FAULTS.md or docs/DEFENSES.md; every metric series name the code
+// creates (Counter/Gauge/Histogram first arguments, including obs.L labels
+// and the obs.go `add` helper idiom) must appear in docs/METRICS.md; and
+// every exported fault kind must be documented in docs/FAULTS.md. Adding
+// an event kind, a metric series or a fault kind without documenting it
+// fails CI. (Series built from non-constant names escape the lint; keep
+// registrations literal.)
 func TestDocsTrackCode(t *testing.T) {
 	metricsDoc, err := os.ReadFile(filepath.Join("docs", "METRICS.md"))
 	if err != nil {
@@ -91,48 +95,82 @@ func TestDocsTrackCode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docs := string(metricsDoc) + string(faultsDoc)
+	defensesDoc, err := os.ReadFile(filepath.Join("docs", "DEFENSES.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := string(metricsDoc) + string(faultsDoc) + string(defensesDoc)
 
 	eventKinds := map[string]string{} // kind → declaring dir
+	series := map[string]string{}     // metric name → declaring dir
 	var faultKinds []string
 	for dir, pkg := range sourcePackages(t) {
 		consts := constStrings(pkg)
+		// resolveString reduces a metric/event name argument to its string
+		// value: a literal, a string constant, or an obs.L("name", ...) call.
+		resolveString := func(arg ast.Expr) (string, bool) {
+			switch a := arg.(type) {
+			case *ast.BasicLit:
+				if a.Kind == token.STRING {
+					if v, err := strconv.Unquote(a.Value); err == nil {
+						return v, true
+					}
+				}
+			case *ast.Ident:
+				if v, ok := consts[a.Name]; ok {
+					return v, true
+				}
+			case *ast.CallExpr:
+				name := ""
+				switch fun := a.Fun.(type) {
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				case *ast.Ident:
+					name = fun.Name
+				}
+				if name == "L" && len(a.Args) > 0 {
+					if lit, ok := a.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if v, err := strconv.Unquote(lit.Value); err == nil {
+							return v, true
+						}
+					}
+				}
+			}
+			return "", false
+		}
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
+				callee := ""
 				switch fun := call.Fun.(type) {
 				case *ast.SelectorExpr:
-					if fun.Sel.Name != "RegisterEventKind" {
-						return true
-					}
+					callee = fun.Sel.Name
 				case *ast.Ident:
-					if fun.Name != "RegisterEventKind" {
-						return true
-					}
-				default:
-					return true
+					callee = fun.Name
 				}
 				if len(call.Args) == 0 {
 					return true
 				}
-				switch arg := call.Args[0].(type) {
-				case *ast.BasicLit:
-					if arg.Kind == token.STRING {
-						if v, err := strconv.Unquote(arg.Value); err == nil {
+				switch callee {
+				case "RegisterEventKind":
+					switch arg := call.Args[0].(type) {
+					case *ast.BasicLit, *ast.Ident:
+						if v, ok := resolveString(arg); ok {
 							eventKinds[v] = dir
+						} else {
+							t.Errorf("%s: RegisterEventKind with an unresolvable kind argument", dir)
 						}
+					default:
+						t.Errorf("%s: RegisterEventKind with a non-constant kind argument", dir)
 					}
-				case *ast.Ident:
-					if v, ok := consts[arg.Name]; ok {
-						eventKinds[v] = dir
-					} else {
-						t.Errorf("%s: RegisterEventKind(%s, ...): cannot resolve the kind to a string constant", dir, arg.Name)
+				case "Counter", "Gauge", "Histogram", "add":
+					// "add" is the obs.go helper idiom wrapping r.Counter.
+					if v, ok := resolveString(call.Args[0]); ok {
+						series[v] = dir
 					}
-				default:
-					t.Errorf("%s: RegisterEventKind with a non-constant kind argument", dir)
 				}
 				return true
 			})
@@ -170,7 +208,21 @@ func TestDocsTrackCode(t *testing.T) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		if !strings.Contains(docs, k) {
-			t.Errorf("event kind %q (registered in %s) is documented in neither docs/METRICS.md nor docs/FAULTS.md", k, eventKinds[k])
+			t.Errorf("event kind %q (registered in %s) is documented in none of docs/METRICS.md, docs/FAULTS.md, docs/DEFENSES.md", k, eventKinds[k])
+		}
+	}
+
+	if len(series) < 20 {
+		t.Fatalf("found only %d metric series registrations; the series lint is miswired", len(series))
+	}
+	var names []string
+	for s := range series {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		if !strings.Contains(string(metricsDoc), s) {
+			t.Errorf("metric series %q (created in %s) is not documented in docs/METRICS.md", s, series[s])
 		}
 	}
 

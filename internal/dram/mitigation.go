@@ -1,0 +1,161 @@
+package dram
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ftlhammer/internal/sim"
+)
+
+// MitigationMode names one in-DRAM rowhammer countermeasure family.
+type MitigationMode int
+
+const (
+	// MitNone leaves the module unprotected (beyond ordinary refresh).
+	MitNone MitigationMode = iota
+	// MitTRR is Target Row Refresh: a tiny per-bank sampler tracks
+	// aggressor candidates and refreshes their neighbours at refresh-
+	// command boundaries. Commodity samplers are small enough to
+	// overflow (TRRespass).
+	MitTRR
+	// MitPARA is Probabilistic Adjacent Row Activation: every
+	// activation refreshes its neighbours with a small probability, so
+	// expected aggressor activations between two victim refreshes stay
+	// below the flip threshold regardless of the access pattern.
+	MitPARA
+	// MitRefreshScale shortens the refresh window (the §5 "increase
+	// refresh rate" mitigation), raising the in-window activation count
+	// an attacker must reach.
+	MitRefreshScale
+)
+
+// String renders the mode in the spelling ParseMitigation accepts.
+func (m MitigationMode) String() string {
+	switch m {
+	case MitTRR:
+		return "trr"
+	case MitPARA:
+		return "para"
+	case MitRefreshScale:
+		return "refresh"
+	default:
+		return "none"
+	}
+}
+
+// MitigationConfig selects and parameterizes one in-DRAM mitigation for
+// a profile. The zero value means no mitigation.
+type MitigationConfig struct {
+	// Mode picks the countermeasure family.
+	Mode MitigationMode
+	// TRR parameterizes MitTRR (zero fields take DefaultTRR values).
+	TRR TRRConfig
+	// PARAProbability is MitPARA's per-activation neighbour-refresh
+	// probability (default 0.001, the literature's usual operating
+	// point).
+	PARAProbability float64
+	// RefreshScale divides the refresh window for MitRefreshScale
+	// (default 2 — the common "2x refresh" BIOS option).
+	RefreshScale int
+}
+
+// ParseMitigation reads a mitigation spec string: "none", "trr",
+// "trr:<sampler>", "para", "para:<probability>", "refresh",
+// "refresh:<scale>" (so "refresh:2" is the classic 2x refresh).
+func ParseMitigation(spec string) (MitigationConfig, error) {
+	name, arg, hasArg := strings.Cut(spec, ":")
+	var mc MitigationConfig
+	switch name {
+	case "", "none":
+		if hasArg {
+			return mc, fmt.Errorf("dram: mitigation %q takes no argument", name)
+		}
+		return mc, nil
+	case "trr":
+		mc.Mode = MitTRR
+		mc.TRR = DefaultTRR()
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return mc, fmt.Errorf("dram: bad TRR sampler size %q", arg)
+			}
+			mc.TRR.SamplerSize = n
+		}
+	case "para":
+		mc.Mode = MitPARA
+		mc.PARAProbability = 0.001
+		if hasArg {
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return mc, fmt.Errorf("dram: bad PARA probability %q", arg)
+			}
+			mc.PARAProbability = p
+		}
+	case "refresh", "refresh2x":
+		mc.Mode = MitRefreshScale
+		mc.RefreshScale = 2
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return mc, fmt.Errorf("dram: bad refresh scale %q", arg)
+			}
+			mc.RefreshScale = n
+		}
+	default:
+		return mc, fmt.Errorf("dram: unknown mitigation %q (want none|trr[:n]|para[:p]|refresh[:n])", spec)
+	}
+	return mc, nil
+}
+
+// String renders the configuration in ParseMitigation syntax.
+func (mc MitigationConfig) String() string {
+	switch mc.Mode {
+	case MitTRR:
+		return fmt.Sprintf("trr:%d", mc.TRR.SamplerSize)
+	case MitPARA:
+		return fmt.Sprintf("para:%g", mc.PARAProbability)
+	case MitRefreshScale:
+		return fmt.Sprintf("refresh:%d", mc.RefreshScale)
+	default:
+		return "none"
+	}
+}
+
+// apply resolves the mitigation into the module configuration's knobs.
+// Explicit Config settings win: a profile-selected mitigation never
+// overrides a knob the caller set directly, so existing configurations
+// keep their exact behavior.
+func (mc MitigationConfig) apply(cfg *Config) {
+	switch mc.Mode {
+	case MitTRR:
+		if !cfg.TRR.Enabled {
+			cfg.TRR = mc.TRR
+			cfg.TRR.Enabled = true
+		}
+	case MitPARA:
+		if cfg.PARA == 0 {
+			p := mc.PARAProbability
+			if p == 0 {
+				p = 0.001
+			}
+			cfg.PARA = p
+		}
+	case MitRefreshScale:
+		if cfg.RefreshWindow == 0 {
+			scale := mc.RefreshScale
+			if scale < 1 {
+				scale = 2
+			}
+			cfg.RefreshWindow = 64 * sim.Millisecond / sim.Duration(scale)
+		}
+	}
+}
+
+// WithMitigation returns a copy of the profile with the mitigation
+// attached; modules built from it enable the countermeasure unless the
+// Config overrides the corresponding knob.
+func (p Profile) WithMitigation(mc MitigationConfig) Profile {
+	p.Mitigation = mc
+	return p
+}

@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"sort"
 
 	"ftlhammer/internal/ecc"
 	"ftlhammer/internal/obs"
@@ -122,6 +123,8 @@ type Stats struct {
 	PARARefreshes  uint64 // neighbour refreshes issued by PARA
 	ECCCorrected   uint64 // single-bit errors corrected on read
 	ECCUncorrected uint64 // double-bit errors detected on read
+	TRRDropped     uint64 // aggressors a full TRR sampler failed to track
+	PARADraws      uint64 // PARA Bernoulli draws (one per activation)
 }
 
 // FlipEvent describes one applied rowhammer bitflip.
@@ -182,7 +185,11 @@ type Module struct {
 	mapper *Mapper
 	banks  []*bankState
 	frames map[uint64]*frame
-	rng    *sim.RNG // PARA and other online draws
+	rng    *sim.RNG // general online draws (kept for snapshot stability)
+	mitRNG *sim.RNG // mitigation draws (PARA); its own stream so
+	// enabling or disabling a mitigation never perturbs other
+	// stochastic choices, and the stream itself survives
+	// Checkpoint/Restore byte-identically
 	stats  Stats
 	flips  []FlipEvent
 	onFlip func(FlipEvent)
@@ -231,6 +238,9 @@ func New(cfg Config, w *sim.World) *Module {
 	if w == nil || w.Clock == nil {
 		panic("dram: nil world")
 	}
+	// The profile's shipped mitigation resolves into the config knobs
+	// first; knobs the caller set explicitly always win.
+	cfg.Profile.Mitigation.apply(&cfg)
 	if cfg.RefreshWindow == 0 {
 		cfg.RefreshWindow = 64 * sim.Millisecond
 	}
@@ -250,6 +260,7 @@ func New(cfg Config, w *sim.World) *Module {
 		banks:  make([]*bankState, cfg.Geometry.TotalBanks()),
 		frames: make(map[uint64]*frame),
 		rng:    sim.NewRNG(cfg.Seed ^ 0xd1a0_0001),
+		mitRNG: sim.NewRNG(cfg.Seed ^ 0xd1a0_0002),
 	}
 	for i := range m.banks {
 		m.banks[i] = newBankState()
@@ -499,9 +510,12 @@ func (m *Module) touchLine(addr uint64) {
 	if m.cfg.TRR.Enabled {
 		m.trrStep(bank, bankIdx, loc.Row, now)
 	}
-	if m.cfg.PARA > 0 && m.rng.Float64() < m.cfg.PARA {
-		m.refreshNeighbors(bank, loc.Row)
-		m.stats.PARARefreshes++
+	if m.cfg.PARA > 0 {
+		m.stats.PARADraws++
+		if m.mitRNG.Float64() < m.cfg.PARA {
+			m.refreshNeighbors(bank, loc.Row)
+			m.stats.PARARefreshes++
+		}
 	}
 
 	// Disturb physical neighbours.
@@ -660,11 +674,19 @@ func (m *Module) trrStep(bank *bankState, bankIdx, row int, now sim.Time) {
 	if tick != bank.trrTick {
 		bank.trrTick = tick
 		if len(bank.trrSampler) > 0 {
-			// Act on the most activated sampled row(s); the sampler
-			// holds at most SamplerSize entries.
-			for sampled := range bank.trrSampler {
-				m.refreshNeighbors(bank, sampled)
+			// Act on the sampled row(s) in ascending row order (the
+			// sampler holds at most SamplerSize entries; sorting keeps
+			// the emitted trace deterministic).
+			sampled := make([]int, 0, len(bank.trrSampler))
+			for r := range bank.trrSampler {
+				sampled = append(sampled, r)
+			}
+			sort.Ints(sampled)
+			for _, r := range sampled {
+				m.refreshNeighbors(bank, r)
 				m.stats.TRRRefreshes++
+				m.obs.Emit(uint64(now), EvTRRRefresh,
+					int64(bankIdx), int64(r), int64(bank.trrSampler[r]))
 			}
 			bank.trrSampler = nil
 		}
@@ -676,8 +698,11 @@ func (m *Module) trrStep(bank *bankState, bankIdx, row int, now sim.Time) {
 		bank.trrSampler[row] = cnt + 1
 	} else if len(bank.trrSampler) < m.cfg.TRR.SamplerSize {
 		bank.trrSampler[row] = 1
+	} else {
+		// A full sampler drops further aggressors: the TRRespass
+		// weakness, counted so experiments can see the overflow.
+		m.stats.TRRDropped++
 	}
-	// A full sampler drops further aggressors: the TRRespass weakness.
 }
 
 // moveBytes copies data between buf and the store for a sub-line range,

@@ -10,11 +10,16 @@ const (
 	// EvECCUncorrectable is a double-bit error surfaced by a read: the
 	// physical address of the failing word.
 	EvECCUncorrectable = "dram.ecc_uncorrectable"
+	// EvTRRRefresh is one TRR neighbour refresh at a refresh-command
+	// boundary: bank, the sampled aggressor row whose neighbours were
+	// refreshed, and the sampler's activation count for it.
+	EvTRRRefresh = "dram.trr_refresh"
 )
 
 func init() {
 	obs.RegisterEventKind(EvFlip, "bank", "row", "bit")
 	obs.RegisterEventKind(EvECCUncorrectable, "addr", "", "")
+	obs.RegisterEventKind(EvTRRRefresh, "bank", "row", "acts")
 }
 
 // registerObs wires the module into its world's registry. Counters the
@@ -37,6 +42,13 @@ func (m *Module) registerObs(r *obs.Registry) {
 		add("dram_para_refreshes_total", s.PARARefreshes)
 		add("dram_ecc_corrected_total", s.ECCCorrected)
 		add("dram_ecc_uncorrected_total", s.ECCUncorrected)
+
+		// Mitigation-zoo counters: the countermeasures' own activity,
+		// separate from the array counters above so defense sweeps can
+		// read effectiveness and cost directly.
+		add("dram_mitigation_refreshes_total", s.TRRRefreshes+s.PARARefreshes)
+		add("dram_mitigation_trr_dropped_total", s.TRRDropped)
+		add("dram_mitigation_para_draws_total", s.PARADraws)
 
 		// Distribution of activations across all banks, idle banks
 		// included: hammering shows up as extreme skew (a few banks in

@@ -28,6 +28,10 @@ type Profile struct {
 	// cells per row (Poisson mean). Manufacturing variation: most rows
 	// have none.
 	WeakCellsPerRow float64
+	// Mitigation selects the in-DRAM countermeasure shipped with
+	// modules of this generation (zero value: none). Module Config
+	// knobs set explicitly take precedence; see MitigationConfig.
+	Mitigation MitigationConfig
 }
 
 // hcFirstForRate converts a Table 1 rate (K accesses/s) to an in-window

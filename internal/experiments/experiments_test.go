@@ -16,8 +16,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -173,6 +173,20 @@ func TestParallelOutputIdentical(t *testing.T) {
 	parallel = runOutput(t, "table1", 8)
 	if serial != parallel {
 		t.Fatalf("table1 output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestDefensesParallelIdentical pins the defenses sweep — whose rows mix
+// guard state, mitigation RNG draws and benign-tenant traffic — to the
+// same worker-count independence guarantee.
+func TestDefensesParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defenses determinism is long; skipped with -short")
+	}
+	serial := runOutput(t, "defenses", 1)
+	parallel := runOutput(t, "defenses", 8)
+	if serial != parallel {
+		t.Fatalf("defenses output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 	}
 }
 

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"ablations", "DESIGN §5", "design-choice ablations (sidedness, half-double, amplification, L2P layout)", Ablations},
 		{"faults", "docs/FAULTS.md", "robustness campaign: goodput and attack success vs injected fault rate", FaultsRobustness},
 		{"blast", "docs/FLEET.md", "fleet blast radius: placement bounds rowhammer reach to one device", Blast},
+		{"defenses", "docs/DEFENSES.md", "guard vs in-DRAM mitigation zoo: effectiveness and benign overhead under multi-tenant load", Defenses},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/faults"
 	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/guard"
 	"ftlhammer/internal/nand"
 	"ftlhammer/internal/nvme"
 	"ftlhammer/internal/obs"
@@ -42,6 +43,9 @@ type DeviceSpec struct {
 	DRAM *dram.Config
 	// Flash, when non-nil, overrides the profile-derived NAND geometry.
 	Flash *nand.Geometry
+	// Guard, when non-nil, attaches the firmware-side Bloom-filter
+	// hammer guard (internal/guard) with this configuration.
+	Guard *guard.Config
 }
 
 // fillDefaults normalizes the zero value to hammerd's historical defaults.
@@ -167,6 +171,9 @@ func (sp DeviceSpec) Build(seed uint64, reg *obs.Registry) (*BuiltDevice, error)
 		if _, err := dev.AddNamespace(per, sp.MaxIOPS); err != nil {
 			return nil, err
 		}
+	}
+	if sp.Guard != nil {
+		dev.AttachGuard(guard.New(*sp.Guard))
 	}
 	return &BuiltDevice{
 		Device:      dev,

@@ -1,6 +1,10 @@
 package guard
 
 import (
+	"math"
+	"sort"
+
+	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 )
 
@@ -23,6 +27,16 @@ type Config struct {
 	Penalty sim.Duration
 	// Enforce applies throttling; when false the guard only detects.
 	Enforce bool
+	// HashCount is k, the number of counters each key probes in every
+	// filter (default 4). The false-positive bound tightens as
+	// occupancy^k, so more hashes buy precision until the extra
+	// insertions themselves drive occupancy up.
+	HashCount int
+	// FilterCounters is m, the number of 64-bit counters per filter
+	// (default 4096). Two filters exist at any time, so the guard's
+	// total tracking state is 2*m*8 bytes — constant regardless of
+	// tenant count, row count, or traffic volume.
+	FilterCounters int
 }
 
 // DefaultConfig returns detection+enforcement with conservative margins.
@@ -30,19 +44,43 @@ func DefaultConfig() Config {
 	return Config{Enforce: true}
 }
 
-// nsState tracks one namespace.
+// nsState tracks one namespace's verdict state. Unlike the filters this
+// is O(namespaces), not O(rows): it holds only the throttle deadline
+// and the violation count, a few words per tenant.
 type nsState struct {
-	windowStart sim.Time
-	lineCounts  map[uint64]uint64
 	throttledTo sim.Time
 	violations  uint64
 }
 
-// Guard is the detector. It is not safe for concurrent use (the device is
-// single-threaded).
+// Stats are the guard's cumulative filter-level counters.
+type Stats struct {
+	// Inserts counts observed activations (one per Observe call).
+	Inserts uint64
+	// Blacklists counts threshold crossings (row blacklist events).
+	Blacklists uint64
+	// Rotations counts half-window epoch turns (filter clears).
+	Rotations uint64
+}
+
+// Guard is the detector. It tracks row heat in a BlockHammer-style pair
+// of rotating counting Bloom filters instead of exact per-row state:
+// every activation inserts into both filters, estimates are read from
+// the older filter (which holds between half a window and a full window
+// of history), and every half window the older filter is cleared and
+// becomes the younger. Memory is 2*FilterCounters counters, constant no
+// matter how many tenants or rows the device serves; the price is a
+// bounded false-positive rate (see FPBound). Estimates never
+// underestimate, so a real aggressor is never missed.
+//
+// Guard is not safe for concurrent use (the device is single-threaded).
 type Guard struct {
-	cfg Config
-	ns  map[int]*nsState
+	cfg        Config
+	filters    [2]*countingBloom
+	young      int      // index of the filter cleared most recently
+	epochStart sim.Time // start of the current half-window epoch
+	ns         map[int]*nsState
+	stats      Stats
+	reg        *obs.Registry
 }
 
 // New builds a guard.
@@ -59,7 +97,52 @@ func New(cfg Config) *Guard {
 	if cfg.Penalty == 0 {
 		cfg.Penalty = 4 * cfg.Window
 	}
-	return &Guard{cfg: cfg, ns: make(map[int]*nsState)}
+	if cfg.HashCount == 0 {
+		cfg.HashCount = 4
+	}
+	if cfg.FilterCounters == 0 {
+		cfg.FilterCounters = 4096
+	}
+	g := &Guard{cfg: cfg, ns: make(map[int]*nsState)}
+	g.filters[0] = newCountingBloom(cfg.FilterCounters, cfg.HashCount)
+	g.filters[1] = newCountingBloom(cfg.FilterCounters, cfg.HashCount)
+	return g
+}
+
+// SetObs attaches a registry so blacklist decisions emit trace events.
+// Safe to skip; a nil registry disables emission.
+func (g *Guard) SetObs(r *obs.Registry) { g.reg = r }
+
+// tenantKey folds the namespace ID into the hot-spot key so the shared
+// filters keep per-tenant attribution: two tenants activating the same
+// DRAM row heat independent counter sets, exactly as the old per-
+// namespace exact maps did.
+func tenantKey(nsID int, key uint64) uint64 {
+	return key ^ mix64(uint64(nsID)+0x6e735f6b6579) // "ns_key"
+}
+
+// advance turns filter epochs. Every half window the older filter is
+// cleared and the roles swap, so the query filter always holds between
+// W/2 and W of history — heat does not survive a refresh horizon, just
+// like physical disturbance does not.
+func (g *Guard) advance(now sim.Time) {
+	half := g.cfg.Window / 2
+	for now.Sub(g.epochStart) >= half {
+		if now.Sub(g.epochStart) >= g.cfg.Window {
+			// Idle gap longer than a full window: both filters hold
+			// only stale heat. Clear both and re-anchor the epoch.
+			g.filters[0].clear()
+			g.filters[1].clear()
+			g.stats.Rotations += 2
+			g.epochStart = now
+			return
+		}
+		older := 1 - g.young
+		g.filters[older].clear()
+		g.young = older
+		g.stats.Rotations++
+		g.epochStart = g.epochStart.Add(half)
+	}
 }
 
 // Observe records one lookup: the namespace, an opaque hot-spot key (the
@@ -69,22 +152,24 @@ func New(cfg Config) *Guard {
 func (g *Guard) Observe(nsID int, key uint64, now sim.Time) float64 {
 	st, ok := g.ns[nsID]
 	if !ok {
-		st = &nsState{windowStart: now, lineCounts: make(map[uint64]uint64)}
+		st = &nsState{}
 		g.ns[nsID] = st
 	}
-	if now.Sub(st.windowStart) >= g.cfg.Window || len(st.lineCounts) > 1<<16 {
-		// New measurement window; line heat does not carry over, just
-		// like disturbance does not survive a refresh.
-		st.windowStart = now
-		st.lineCounts = make(map[uint64]uint64)
-	}
-	st.lineCounts[key]++
-	if st.lineCounts[key] >= g.cfg.RowThreshold {
+	g.advance(now)
+	g.stats.Inserts++
+	k := tenantKey(nsID, key)
+	g.filters[g.young].add(k)
+	if est := g.filters[1-g.young].add(k); est >= g.cfg.RowThreshold {
 		st.violations++
 		st.throttledTo = now.Add(g.cfg.Penalty)
-		// Reset the counter so a persisting attack re-trips once per
-		// threshold crossing rather than on every access.
-		st.lineCounts[key] = 0
+		g.stats.Blacklists++
+		// Subtract one threshold's worth of heat so a persisting attack
+		// re-trips once per threshold crossing rather than on every
+		// access (the counting-filter analogue of the old counter
+		// reset).
+		g.filters[0].subtract(k, g.cfg.RowThreshold)
+		g.filters[1].subtract(k, g.cfg.RowThreshold)
+		g.reg.Emit(uint64(now), EvBlacklist, int64(nsID), int64(key), int64(st.violations))
 	}
 	if g.cfg.Enforce && now < st.throttledTo {
 		return g.cfg.ThrottleIOPS
@@ -101,7 +186,8 @@ func (g *Guard) Violations(nsID int) uint64 {
 	return 0
 }
 
-// ObservedAttacks lists namespace IDs with at least one violation.
+// ObservedAttacks lists namespace IDs with at least one violation, in
+// ascending order.
 func (g *Guard) ObservedAttacks() []int {
 	var out []int
 	for id, st := range g.ns {
@@ -109,5 +195,33 @@ func (g *Guard) ObservedAttacks() []int {
 			out = append(out, id)
 		}
 	}
+	sort.Ints(out)
 	return out
+}
+
+// Stats returns the cumulative filter-level counters.
+func (g *Guard) Stats() Stats { return g.stats }
+
+// FootprintBytes is the guard's total tracking-state size: both filters'
+// counter arrays. It is fixed at construction and independent of how
+// many rows or tenants have been observed — the property that lets the
+// guard hold at fleet scale.
+func (g *Guard) FootprintBytes() int {
+	return (len(g.filters[0].counters) + len(g.filters[1].counters)) * 8
+}
+
+// Occupancy is the nonzero-counter fraction of the query (older)
+// filter, the input to the false-positive bound.
+func (g *Guard) Occupancy() float64 {
+	return g.filters[1-g.young].occupancy()
+}
+
+// FPBound is the current probability that a never-inserted key's
+// estimate is nonzero: occupancy^k, the standard Bloom false-positive
+// bound evaluated at the live occupancy. A *throttling* false positive
+// additionally requires the colliding counters to have absorbed
+// RowThreshold heat, so this is a loose upper bound on wrongly
+// throttled rows.
+func (g *Guard) FPBound() float64 {
+	return math.Pow(g.Occupancy(), float64(g.cfg.HashCount))
 }

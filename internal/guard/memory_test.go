@@ -1,0 +1,74 @@
+package guard
+
+import (
+	"testing"
+
+	"ftlhammer/internal/sim"
+)
+
+// TestObserveSteadyStateZeroAlloc pins the hot path: once every
+// namespace has been seen, Observe allocates nothing no matter how many
+// distinct rows flow through — filter probes are in-place counter
+// updates, and epoch rotation reuses the same arrays.
+func TestObserveSteadyStateZeroAlloc(t *testing.T) {
+	g := New(DefaultConfig())
+	clk := sim.NewClock()
+	for ns := 0; ns < 4; ns++ {
+		g.Observe(ns, uint64(ns), clk.Now())
+	}
+	var key uint64
+	allocs := testing.AllocsPerRun(10000, func() {
+		key++
+		g.Observe(int(key%4), key, clk.Now())
+		clk.Advance(100 * sim.Nanosecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per op in steady state, want 0", allocs)
+	}
+}
+
+// TestFootprintConstantAsRowsGrow is the tentpole property: the Bloom
+// guard's tracking memory is fixed at construction while the old exact
+// per-row tracker (reconstructed here as the map it used to keep) grows
+// linearly with distinct rows. At 2^16 distinct rows the exact map
+// holds one entry per row — an order of magnitude more state than both
+// filters combined — and keeps growing; the guard does not move a byte.
+func TestFootprintConstantAsRowsGrow(t *testing.T) {
+	g := New(DefaultConfig())
+	clk := sim.NewClock()
+	base := g.FootprintBytes()
+	if base != 2*4096*8 {
+		t.Fatalf("default footprint = %d bytes, want %d", base, 2*4096*8)
+	}
+
+	// The pre-Bloom tracker: map[key]count per namespace, ~2 words per
+	// distinct row plus bucket overhead. 16 bytes/entry is a floor.
+	const exactEntryBytes = 16
+	exact := make(map[uint64]uint64)
+
+	const tenants = 64
+	checkpoints := map[int]int{}
+	for n := 1; n <= 1<<16; n++ {
+		key := uint64(n)
+		ns := int(key % tenants)
+		g.Observe(ns, key, clk.Now())
+		exact[tenantKey(ns, key)]++
+		clk.Advance(50 * sim.Nanosecond)
+		if g.FootprintBytes() != base {
+			t.Fatalf("guard footprint moved to %d bytes after %d distinct rows", g.FootprintBytes(), n)
+		}
+		switch n {
+		case 1 << 12, 1 << 14, 1 << 16:
+			checkpoints[n] = len(exact) * exactEntryBytes
+		}
+	}
+
+	// The exact tracker grows linearly: 4x the rows, 4x the bytes.
+	if checkpoints[1<<14] < 3*checkpoints[1<<12] || checkpoints[1<<16] < 3*checkpoints[1<<14] {
+		t.Fatalf("exact-tracker growth not linear: %v", checkpoints)
+	}
+	if checkpoints[1<<16] <= base {
+		t.Fatalf("exact tracker (%d bytes at 2^16 rows) did not exceed the guard's constant %d bytes",
+			checkpoints[1<<16], base)
+	}
+}

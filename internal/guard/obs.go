@@ -1,0 +1,16 @@
+package guard
+
+import "ftlhammer/internal/obs"
+
+// Trace event kinds emitted by the guard. Attribute meanings are
+// registered here and documented in docs/METRICS.md.
+const (
+	// EvBlacklist is one threshold crossing: the offending namespace,
+	// the hot-spot key (DRAM flat-bank<<32|row), and that namespace's
+	// cumulative violation count after this crossing.
+	EvBlacklist = "guard.blacklist"
+)
+
+func init() {
+	obs.RegisterEventKind(EvBlacklist, "ns", "key", "violations")
+}

@@ -20,92 +20,90 @@ func (g *Guard) ConfigString() string {
 	return fmt.Sprintf("%+v", g.cfg)
 }
 
-// SaveTo appends the guard's per-namespace window state — window start,
-// per-row line counts, throttle deadline, violation count — to a snapshot
-// under construction, namespaces sorted by id and rows sorted by line.
+// SaveTo appends the guard's state — both filters' counter arrays, the
+// epoch anchor and rotation role, cumulative stats, and the per-
+// namespace verdict columns — to a snapshot under construction,
+// namespaces sorted by id. Filter counters are dumped verbatim so a
+// restored guard continues with bit-identical heat estimates.
 func (g *Guard) SaveTo(w *snapshot.Writer) {
 	s := w.Section(snapSection)
+	s.U64("young", uint64(g.young))
+	s.U64("epoch_start", uint64(g.epochStart))
+	s.U64("inserts", g.stats.Inserts)
+	s.U64("blacklists", g.stats.Blacklists)
+	s.U64("rotations", g.stats.Rotations)
+	s.U64s("f0", g.filters[0].counters)
+	s.U64s("f1", g.filters[1].counters)
 	ids := make([]int, 0, len(g.ns))
 	for id := range g.ns {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	nsID := make([]uint64, len(ids))
-	winStart := make([]uint64, len(ids))
 	thrTo := make([]uint64, len(ids))
 	viol := make([]uint64, len(ids))
-	lineN := make([]uint64, len(ids))
-	var lineKeys, lineVals []uint64
 	for i, id := range ids {
 		st := g.ns[id]
 		nsID[i] = uint64(id)
-		winStart[i] = uint64(st.windowStart)
 		thrTo[i] = uint64(st.throttledTo)
 		viol[i] = st.violations
-		lineN[i] = uint64(len(st.lineCounts))
-		keys := make([]uint64, 0, len(st.lineCounts))
-		for k := range st.lineCounts {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		for _, k := range keys {
-			lineKeys = append(lineKeys, k)
-			lineVals = append(lineVals, st.lineCounts[k])
-		}
 	}
 	s.U64s("ns_id", nsID)
-	s.U64s("win_start", winStart)
 	s.U64s("thr_to", thrTo)
 	s.U64s("violations", viol)
-	s.U64s("line_n", lineN)
-	s.U64s("line_keys", lineKeys)
-	s.U64s("line_vals", lineVals)
 }
 
 // LoadFrom restores the guard from its section of a decoded snapshot,
-// replacing all per-namespace state.
+// replacing all filter and per-namespace state. Filter sizes must match
+// the configured geometry: a snapshot taken under a different
+// HashCount/FilterCounters would not continue identically, so length
+// mismatches are rejected rather than resized.
 func (g *Guard) LoadFrom(snap *snapshot.Snapshot) error {
 	s := snap.Section(snapSection)
+	young := s.U64("young")
+	epochStart := s.U64("epoch_start")
+	inserts := s.U64("inserts")
+	blacklists := s.U64("blacklists")
+	rotations := s.U64("rotations")
+	f0 := s.U64s("f0")
+	f1 := s.U64s("f1")
 	nsID := s.U64s("ns_id")
-	winStart := s.U64s("win_start")
 	thrTo := s.U64s("thr_to")
 	viol := s.U64s("violations")
-	lineN := s.U64s("line_n")
-	lineKeys := s.U64s("line_keys")
-	lineVals := s.U64s("line_vals")
 	if s.Err() == nil {
-		n := len(nsID)
-		if len(winStart) != n || len(thrTo) != n || len(viol) != n || len(lineN) != n {
+		if young > 1 {
+			s.Reject("young", "filter index %d out of range", young)
+		}
+		if len(f0) != g.cfg.FilterCounters || len(f1) != g.cfg.FilterCounters {
+			s.Reject("f0", "snapshot has %d+%d counters but guard is configured for 2x%d",
+				len(f0), len(f1), g.cfg.FilterCounters)
+		}
+		if len(thrTo) != len(nsID) || len(viol) != len(nsID) {
 			s.Reject("ns_id", "namespace column lengths disagree")
-		} else if len(lineKeys) != len(lineVals) {
-			s.Reject("line_keys", "line column lengths disagree")
-		} else {
-			total := uint64(0)
-			for _, c := range lineN {
-				total += c
-			}
-			if total != uint64(len(lineKeys)) {
-				s.Reject("line_n", "line counts sum to %d but %d lines present", total, len(lineKeys))
-			}
 		}
 	}
 	if err := s.Err(); err != nil {
 		return err
 	}
+	g.young = int(young)
+	g.epochStart = sim.Time(epochStart)
+	g.stats = Stats{Inserts: inserts, Blacklists: blacklists, Rotations: rotations}
+	for fi, src := range [2][]uint64{f0, f1} {
+		f := g.filters[fi]
+		copy(f.counters, src)
+		f.occupied = 0
+		for _, c := range f.counters {
+			if c != 0 {
+				f.occupied++
+			}
+		}
+	}
 	g.ns = make(map[int]*nsState, len(nsID))
-	li := 0
 	for i, id := range nsID {
-		st := &nsState{
-			windowStart: sim.Time(winStart[i]),
+		g.ns[int(id)] = &nsState{
 			throttledTo: sim.Time(thrTo[i]),
 			violations:  viol[i],
-			lineCounts:  make(map[uint64]uint64, lineN[i]),
 		}
-		for j := uint64(0); j < lineN[i]; j++ {
-			st.lineCounts[lineKeys[li]] = lineVals[li]
-			li++
-		}
-		g.ns[int(id)] = st
 	}
 	return nil
 }

@@ -243,25 +243,30 @@ func (d *Device) global(ns *Namespace, lba ftl.LBA) (ftl.LBA, error) {
 
 // AttachGuard installs a firmware-side hammer detector: every command's
 // L2P lookup is reported to it, and namespaces showing the hammer
-// signature get individually throttled (see internal/guard).
-func (d *Device) AttachGuard(g *guard.Guard) { d.guard = g }
+// signature get individually throttled (see internal/guard). The guard
+// inherits the device's trace registry so blacklist decisions appear in
+// the event stream.
+func (d *Device) AttachGuard(g *guard.Guard) {
+	d.guard = g
+	if g != nil {
+		g.SetObs(d.obs)
+	}
+}
 
 // Guard returns the attached detector, if any.
 func (d *Device) Guard() *guard.Guard { return d.guard }
 
-// observeGuard reports a command's lookup to the guard and records the
-// throttle verdict for subsequent admissions. The hot-spot key is the
-// DRAM bank/row the L2P lookup activated: the firmware knows its own
-// controller mapping, so it aggregates at exactly the granularity
-// rowhammering must concentrate on.
-func (d *Device) observeGuard(ns *Namespace, global ftl.LBA, activated bool) {
-	if d.guard == nil {
-		return
-	}
-	if !activated {
-		// Row-buffer hits cannot hammer; only activations count. This
-		// keeps legitimately hot (but buffer-resident) lines from ever
-		// accumulating toward the signature.
+// observeGuard reports a command's L2P activations to the guard and
+// records the throttle verdict for subsequent admissions. The hot-spot
+// key is the DRAM bank/row the L2P lookup activated: the firmware knows
+// its own controller mapping, so it aggregates at exactly the
+// granularity rowhammering must concentrate on. Every activation is
+// reported (a firmware-amplified command hammers HammersPerIO times and
+// must count that many times); row-buffer hits cannot hammer and are
+// never reported, which keeps legitimately hot (but buffer-resident)
+// lines from accumulating toward the signature.
+func (d *Device) observeGuard(ns *Namespace, global ftl.LBA, acts uint64) {
+	if d.guard == nil || acts == 0 {
 		return
 	}
 	var key uint64
@@ -273,9 +278,12 @@ func (d *Device) observeGuard(ns *Namespace, global ftl.LBA, activated bool) {
 		key = uint64(global) / 16
 	}
 	prev := ns.guardCap
-	ns.guardCap = d.guard.Observe(ns.ID, key, d.clk.Now())
+	now := d.clk.Now()
+	for i := uint64(0); i < acts; i++ {
+		ns.guardCap = d.guard.Observe(ns.ID, key, now)
+	}
 	if ns.guardCap != prev {
-		d.obs.Emit(uint64(d.clk.Now()), EvGuardThrottle,
+		d.obs.Emit(uint64(now), EvGuardThrottle,
 			int64(ns.ID), int64(ns.guardCap), int64(prev))
 	}
 }
@@ -337,9 +345,9 @@ func (d *Device) serveOnce(ns *Namespace, g ftl.LBA, op Opcode, buf []byte) (map
 	default:
 		err = d.ftl.Trim(g)
 	}
-	activated := d.mem.Stats().Activations > dramBefore.Activations
+	acts := d.mem.Stats().Activations - dramBefore.Activations
 	d.chargeBackend(dramBefore, flashBefore)
-	d.observeGuard(ns, g, activated)
+	d.observeGuard(ns, g, acts)
 	return mapped, err
 }
 

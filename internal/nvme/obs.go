@@ -73,6 +73,18 @@ func (d *Device) registerObs(r *obs.Registry) {
 			}
 		}
 		r.Counter("nvme_commands_total").Add(total)
+		if d.guard != nil {
+			// Guard filter health: cumulative insert/blacklist/rotation
+			// counters plus the live occupancy-derived false-positive
+			// bound and the (constant) memory footprint.
+			gs := d.guard.Stats()
+			r.Counter("guard_inserts_total").Add(gs.Inserts)
+			r.Counter("guard_blacklists_total").Add(gs.Blacklists)
+			r.Counter("guard_rotations_total").Add(gs.Rotations)
+			r.Gauge("guard_filter_occupancy", obs.AggMax).SetMax(d.guard.Occupancy())
+			r.Gauge("guard_fp_bound", obs.AggMax).SetMax(d.guard.FPBound())
+			r.Gauge("guard_footprint_bytes", obs.AggMax).SetMax(float64(d.guard.FootprintBytes()))
+		}
 		if elapsed > 0 {
 			r.Gauge("nvme_elapsed_virtual_seconds", obs.AggMax).SetMax(elapsed)
 			if total > 0 {
