@@ -6,6 +6,7 @@
 //	ftlhammer -profile testbed -cycles 20 -spray 3072 -amplify 5
 //	ftlhammer -profile weak -mitigation ecc
 //	ftlhammer -profile weak -mitigation trr -sync-decoys
+//	ftlhammer -profile weak -mitigation trr:1 -pattern many:4
 //	ftlhammer -profile weak -metrics table -trace run.jsonl
 //	ftlhammer -profile weak -fault-rate 0.01 -v
 package main
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"ftlhammer/internal/attack"
 	"ftlhammer/internal/cloud"
 	"ftlhammer/internal/core"
 	"ftlhammer/internal/dram"
@@ -37,6 +39,7 @@ func main() {
 		amplify    = flag.Int("amplify", 1, "firmware hammers per I/O (paper testbed: 5)")
 		mitigation = flag.String("mitigation", "none", "none | ecc | trr[:sampler] | para[:p] | refresh[:scale] | refresh2x | cache | ratelimit | hashed | extent-only | guard")
 		syncDecoys = flag.Bool("sync-decoys", false, "REF-synchronized decoy reads (TRR bypass)")
+		pattern    = flag.String("pattern", "", "hammer pattern: single | double | one-location | many:<n> | fuzzed:<seed> (empty: classic double-sided)")
 		hunt       = flag.String("hunt", "victim-data-block-", "content marker to hunt for")
 		seed       = flag.Uint64("seed", 0xBEEF, "simulation seed")
 		verbose    = flag.Bool("v", false, "print device statistics")
@@ -154,12 +157,26 @@ func main() {
 	fmt.Printf("device: %s — %.1f GiB, %d namespaces, %s L2P\n",
 		id.Model, float64(id.Capacity)/(1<<30), id.Namespaces, id.L2PKind)
 
+	hopts := core.HammerOptions{SyncDecoy: *syncDecoys}
+	if *pattern != "" {
+		pat, err := attack.ParsePattern(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		// -sync-decoys composes: it adds REF synchronization to whatever
+		// shape -pattern selected.
+		if *syncDecoys {
+			pat.SyncDecoy = true
+		}
+		hopts.Pattern = &pat
+		fmt.Printf("hammer pattern: %s\n", pat)
+	}
 	camp, err := core.NewCampaign(tb, core.CampaignConfig{
 		SprayFiles:      *sprayFiles,
 		TargetsPerFile:  *targets,
 		MaxCycles:       *cycles,
 		TriplesPerCycle: *triples,
-		Hammer:          core.HammerOptions{SyncDecoy: *syncDecoys},
+		Hammer:          hopts,
 		Hunt:            *hunt,
 	})
 	if err != nil {

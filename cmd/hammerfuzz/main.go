@@ -1,0 +1,128 @@
+// Command hammerfuzz searches pattern space for guard-bypassing hammer
+// shapes: patterns that flip bits on a mitigated, guard-enforcing
+// device while both defenses stay silent. The search is seeded and
+// deterministic — the same flags always print the same report — so a
+// discovered bypass is a shareable, replayable artifact.
+//
+// Example:
+//
+//	hammerfuzz                           # search the pinned golden target
+//	hammerfuzz -seed 7 -generations 6    # a different deterministic search
+//	hammerfuzz -mitigation trr:4         # harder sampler
+//	hammerfuzz -record out.jsonl -shrink # record + shrink the winner
+//	hammerfuzz -require-bypass           # exit 1 if no bypass is found
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftlhammer/internal/attack"
+	"ftlhammer/internal/replay"
+)
+
+func main() {
+	var (
+		targetSeed  = flag.Uint64("target-seed", attack.GoldenTargetSeed, "device-world seed of the fuzz target")
+		seed        = flag.Uint64("seed", attack.GoldenFuzzSeed, "search seed (pattern generation and mutation)")
+		generations = flag.Int("generations", 4, "fuzzer generations")
+		population  = flag.Int("population", 8, "patterns per generation")
+		budget      = flag.Int("budget", 0, "iterations per evaluation (0: target default)")
+		mitigation  = flag.String("mitigation", "", "in-DRAM mitigation spec (default trr:1): none | trr[:n] | para[:p] | refresh[:n]")
+		noGuard     = flag.Bool("no-guard", false, "run without the firmware Bloom guard")
+		record      = flag.String("record", "", "write the winner's full command trace to this JSONL file")
+		shrink      = flag.Bool("shrink", false, "reduce the recorded trace with the budgeted replay shrinker (needs -record)")
+		require     = flag.Bool("require-bypass", false, "exit nonzero unless a guard bypass is found")
+		quiet       = flag.Bool("q", false, "suppress per-generation progress lines")
+	)
+	flag.Parse()
+	if *shrink && *record == "" {
+		fatal(fmt.Errorf("-shrink needs -record"))
+	}
+
+	target := attack.TargetSpec{
+		Seed:       *targetSeed,
+		Mitigation: *mitigation,
+		Budget:     *budget,
+		NoGuard:    *noGuard,
+	}
+	fz := &attack.Fuzzer{
+		Target:      target,
+		Seed:        *seed,
+		Generations: *generations,
+		Population:  *population,
+	}
+	if !*quiet {
+		fz.Log = os.Stdout
+	}
+	mit := *mitigation
+	if mit == "" {
+		mit = "trr:1"
+	}
+	guardDesc := "enforcing bloom guard"
+	if *noGuard {
+		guardDesc = "no guard"
+	}
+	fmt.Printf("target: seed %#x, mitigation %s, %s\n", *targetSeed, mit, guardDesc)
+
+	rep, err := fz.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nbaseline double-sided: %s\n", rep.Baseline.Fitness)
+	fmt.Printf("winner (gen %d): %s\n", rep.Best.Generation, rep.Best.Pattern)
+	fmt.Printf("winner fitness: %s\n", rep.Best.Fitness)
+	fmt.Printf("evaluations: %d\n", rep.Evaluated)
+	bypass := rep.Bypass()
+	if bypass {
+		fmt.Printf("verdict: GUARD BYPASS — %d stealthy flips; baseline blocked\n",
+			rep.Best.Fitness.StealthFlips())
+	} else {
+		fmt.Println("verdict: no bypass found under this budget")
+	}
+
+	if *record != "" {
+		fit, entries, err := target.RecordEvaluation(rep.Best.Pattern)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded winner: %d commands (%s)\n", len(entries), fit)
+		if *shrink {
+			shrunk := target.ShrinkBypass(entries)
+			if len(shrunk) < len(entries) {
+				fmt.Printf("shrunk: %d -> %d commands (reduced bypass core)\n",
+					len(entries), len(shrunk))
+				entries = shrunk
+			} else {
+				fmt.Println("shrunk: trace does not bypass; kept in full")
+			}
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replay.WriteTrace(f, entries); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		out, err := target.Replay(entries)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replay check: flips=%d guard=%d/%d state=%#x -> %s\n",
+			out.Flips, out.Blacklists, out.Violations, out.StateHash, *record)
+	}
+
+	if *require && !bypass {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hammerfuzz:", err)
+	os.Exit(1)
+}

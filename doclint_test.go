@@ -79,7 +79,7 @@ func constStrings(pkg *ast.Package) map[string]string {
 // TestDocsTrackCode is the docs-drift gate: every observability event kind
 // registered anywhere in the tree (obs.RegisterEventKind's first argument,
 // resolved through Ev* constants) must be documented in docs/METRICS.md,
-// docs/FAULTS.md or docs/DEFENSES.md; every metric series name the code
+// docs/FAULTS.md, docs/DEFENSES.md or docs/ATTACKS.md; every metric series name the code
 // creates (Counter/Gauge/Histogram first arguments, including obs.L labels
 // and the obs.go `add` helper idiom) must appear in docs/METRICS.md; and
 // every exported fault kind must be documented in docs/FAULTS.md. Adding
@@ -99,7 +99,11 @@ func TestDocsTrackCode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docs := string(metricsDoc) + string(faultsDoc) + string(defensesDoc)
+	attacksDoc, err := os.ReadFile(filepath.Join("docs", "ATTACKS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := string(metricsDoc) + string(faultsDoc) + string(defensesDoc) + string(attacksDoc)
 
 	eventKinds := map[string]string{} // kind → declaring dir
 	series := map[string]string{}     // metric name → declaring dir
@@ -208,7 +212,7 @@ func TestDocsTrackCode(t *testing.T) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		if !strings.Contains(docs, k) {
-			t.Errorf("event kind %q (registered in %s) is documented in none of docs/METRICS.md, docs/FAULTS.md, docs/DEFENSES.md", k, eventKinds[k])
+			t.Errorf("event kind %q (registered in %s) is documented in none of docs/METRICS.md, docs/FAULTS.md, docs/DEFENSES.md, docs/ATTACKS.md", k, eventKinds[k])
 		}
 	}
 
@@ -381,5 +385,67 @@ func TestDocsIndexComplete(t *testing.T) {
 	}
 	if !strings.Contains(string(readme), "docs/README.md") {
 		t.Error("top-level README.md does not link the docs index (docs/README.md)")
+	}
+}
+
+// TestAttackAPIDocumented is the attack-surface doc gate: every exported
+// interface of internal/attack (the composable pipeline's extension
+// points) and every event kind it registers (Ev* string constants) must
+// be documented in docs/ATTACKS.md. Adding a pipeline stage or an attack
+// event without documenting it fails CI.
+func TestAttackAPIDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "ATTACKS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "attack"), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ifaces, kinds []string
+	for _, pkg := range pkgs {
+		for name, v := range constStrings(pkg) {
+			if strings.HasPrefix(name, "Ev") && ast.IsExported(name) {
+				kinds = append(kinds, v)
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ast.IsExported(ts.Name.Name) {
+						continue
+					}
+					if _, ok := ts.Type.(*ast.InterfaceType); ok {
+						ifaces = append(ifaces, ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	if len(ifaces) < 3 {
+		t.Fatalf("found only %d exported interfaces in internal/attack; the lint is miswired", len(ifaces))
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("found only %d exported event-kind constants in internal/attack; the lint is miswired", len(kinds))
+	}
+	sort.Strings(ifaces)
+	sort.Strings(kinds)
+	for _, name := range ifaces {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("exported attack interface %s is not documented in docs/ATTACKS.md", name)
+		}
+	}
+	for _, k := range kinds {
+		if !strings.Contains(string(doc), "`"+k+"`") {
+			t.Errorf("attack event kind %q is not documented in docs/ATTACKS.md", k)
+		}
 	}
 }

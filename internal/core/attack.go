@@ -2,8 +2,8 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
+	"ftlhammer/internal/attack"
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/ftl"
 	"ftlhammer/internal/nvme"
@@ -11,6 +11,10 @@ import (
 )
 
 // Attacker drives the attacker VM's direct device access (Figure 2(b)).
+// It is now a thin compatibility layer over the composable attack
+// pipeline in internal/attack: analysis delegates to attack.Analyze and
+// hammering to attack.DeviceHammerer, so the legacy entry points keep
+// their exact behaviour while new code composes the pieces directly.
 type Attacker struct {
 	Dev  *nvme.Device
 	NS   *nvme.Namespace
@@ -27,13 +31,19 @@ func NewAttacker(dev *nvme.Device, ns *nvme.Namespace, path nvme.Path) *Attacker
 // randomness should derive from its streams so trials stay reproducible.
 func (a *Attacker) World() *sim.World { return a.Dev.World() }
 
-// HammerPlan is one ready-to-run double-sided configuration: the DRAM
-// triple plus the logical blocks whose L2P lookups activate each aggressor
-// row, and (optionally) a decoy for TRR-synchronized many-sided patterns.
+// HammerPlan is one ready-to-run hammer configuration: the DRAM triple
+// plus the logical blocks whose L2P lookups activate each aggressor
+// row, and (optionally) a decoy for TRR-synchronized many-sided
+// patterns. It is the legacy two-sided view of an attack.Binding;
+// ExtraSides carries any additional far-row sides an analysis with
+// sidedness > 2 attached.
 type HammerPlan struct {
 	Triple dram.Triple
 	// AggLBAs are attacker-namespace-relative blocks per aggressor row.
 	AggLBAs [2][]ftl.LBA
+	// ExtraSides holds sides 2+ (same-bank far rows for many-sided
+	// patterns), namespace-relative like AggLBAs.
+	ExtraSides [][]ftl.LBA
 	// VictimGlobalLBAs are the device-global blocks whose translations
 	// live in the victim row (owned by the other tenant in the
 	// cross-partition case).
@@ -43,148 +53,108 @@ type HammerPlan struct {
 	HasDecoy bool
 }
 
-// entryLBA converts an L2P DRAM address back to the device-global LBA
-// whose entry starts there (linear layout).
-func entryLBA(region dram.Region, addr uint64) ftl.LBA {
-	return ftl.LBA((addr - region.Base) / ftl.EntryBytes)
+// SideCount is how many aggressor sides the plan provides.
+func (p HammerPlan) SideCount() int { return 2 + len(p.ExtraSides) }
+
+// Binding converts the plan to the composable pipeline's placement type.
+func (p HammerPlan) Binding() attack.Binding {
+	sides := make([][]ftl.LBA, 0, p.SideCount())
+	sides = append(sides, p.AggLBAs[0], p.AggLBAs[1])
+	sides = append(sides, p.ExtraSides...)
+	return attack.Binding{
+		Triple:           p.Triple,
+		Sides:            sides,
+		VictimGlobalLBAs: p.VictimGlobalLBAs,
+		DecoyLBA:         p.DecoyLBA,
+		HasDecoy:         p.HasDecoy,
+	}
 }
 
-// planFromTriple derives LBA groups from a triple's addresses. Aggressor
-// addresses must belong to the attacker's namespace.
-func (a *Attacker) planFromTriple(tr dram.Triple, region dram.Region) (HammerPlan, bool) {
-	plan := HammerPlan{Triple: tr}
-	for side := 0; side < 2; side++ {
-		for _, addr := range tr.AggAddrs[side] {
-			g := entryLBA(region, addr)
-			if g >= a.NS.StartLBA && uint64(g-a.NS.StartLBA) < a.NS.NumLBAs {
-				plan.AggLBAs[side] = append(plan.AggLBAs[side], g-a.NS.StartLBA)
-			}
-		}
-		if len(plan.AggLBAs[side]) == 0 {
-			return plan, false
-		}
+// planFromBinding converts back: the first two sides become AggLBAs,
+// the rest ExtraSides.
+func planFromBinding(b attack.Binding) HammerPlan {
+	plan := HammerPlan{
+		Triple:           b.Triple,
+		VictimGlobalLBAs: b.VictimGlobalLBAs,
+		DecoyLBA:         b.DecoyLBA,
+		HasDecoy:         b.HasDecoy,
 	}
-	for _, addr := range tr.VictimAddrs {
-		plan.VictimGlobalLBAs = append(plan.VictimGlobalLBAs, entryLBA(region, addr))
+	plan.AggLBAs[0] = b.Sides[0]
+	plan.AggLBAs[1] = b.Sides[1]
+	if len(b.Sides) > 2 {
+		plan.ExtraSides = b.Sides[2:]
 	}
-	return plan, true
-}
-
-// attachDecoys picks, for each plan, an attacker-owned line in the same
-// bank but a distant row, used to claim the TRR sampler slot.
-func (a *Attacker) attachDecoys(plans []HammerPlan, region dram.Region, owner func(uint64) int) {
-	mapper := a.Dev.DRAM().Mapper()
-	geo := mapper.Geometry()
-	// Index attacker-owned rows per bank.
-	type bankRows struct {
-		rows  []int
-		addrs map[int]uint64
-	}
-	banks := make(map[int]*bankRows)
-	for addr := region.Base; addr < region.Base+region.Size; addr += 64 {
-		if owner(addr) != a.NS.ID {
-			continue
-		}
-		loc := mapper.Map(addr)
-		fb := geo.FlatBank(loc)
-		br, ok := banks[fb]
-		if !ok {
-			br = &bankRows{addrs: make(map[int]uint64)}
-			banks[fb] = br
-		}
-		if _, seen := br.addrs[loc.Row]; !seen {
-			br.rows = append(br.rows, loc.Row)
-			br.addrs[loc.Row] = addr
-		}
-	}
-	for i := range plans {
-		p := &plans[i]
-		fb := p.Triple.FlatBank(geo)
-		br, ok := banks[fb]
-		if !ok {
-			continue
-		}
-		for _, row := range br.rows {
-			// The decoy must not be an aggressor (TRR would then protect
-			// the victim) and must not itself disturb the victim row.
-			if row == p.Triple.AggRows[0] || row == p.Triple.AggRows[1] {
-				continue
-			}
-			if row >= p.Triple.VictimRow-1 && row <= p.Triple.VictimRow+1 {
-				continue
-			}
-			g := entryLBA(region, br.addrs[row])
-			if g >= a.NS.StartLBA && uint64(g-a.NS.StartLBA) < a.NS.NumLBAs {
-				p.DecoyLBA = g - a.NS.StartLBA
-				p.HasDecoy = true
-				break
-			}
-		}
-	}
+	return plan
 }
 
 // AnalyzeCrossPartition performs the offline §4.2 analysis: find every
 // (aggressor, victim, aggressor) physical row triple where the attacker's
 // partition provides both aggressors and victimNSID's translations sit in
 // between. Requires the linear L2P layout (the hashed mitigation defeats
-// exactly this step).
+// exactly this step). Delegates to attack.Analyze.
 func (a *Attacker) AnalyzeCrossPartition(victimNSID int) ([]HammerPlan, error) {
-	owner, err := a.Dev.L2POwner()
+	return a.AnalyzeCrossPartitionSides(victimNSID, 2)
+}
+
+// AnalyzeCrossPartitionSides is AnalyzeCrossPartition with each plan
+// extended toward the requested sidedness by binding same-bank far rows
+// (many-sided patterns). Plans whose bank runs out of suitable rows
+// keep their natural sidedness; callers clamp the pattern per plan.
+func (a *Attacker) AnalyzeCrossPartitionSides(victimNSID, sides int) ([]HammerPlan, error) {
+	bindings, err := attack.Analyze(a.Dev, a.NS, attack.AnalyzeOptions{
+		VictimNSID: victimNSID,
+		Sides:      sides,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: offline layout analysis impossible: %w", err)
+		return nil, err
 	}
-	region := a.Dev.FTL().L2PRegion()
-	mapper := a.Dev.DRAM().Mapper()
-	triples := dram.FindCrossPartitionTriples(mapper, region, owner, a.NS.ID, victimNSID)
-	var plans []HammerPlan
-	for _, tr := range triples {
-		if p, ok := a.planFromTriple(tr, region); ok {
-			plans = append(plans, p)
-		}
-	}
-	a.attachDecoys(plans, region, owner)
-	if len(plans) == 0 {
-		return nil, errors.New("core: no cross-partition triples under this mapping")
+	plans := make([]HammerPlan, len(bindings))
+	for i, b := range bindings {
+		plans[i] = planFromBinding(b)
 	}
 	return plans, nil
 }
 
 // AnalyzeOwnPartition finds triples entirely within the attacker's own
 // partition — the Figure 1 single-tenant setting, also used for online
-// rowhammerability templating.
+// rowhammerability templating. Delegates to attack.Analyze.
 func (a *Attacker) AnalyzeOwnPartition() ([]HammerPlan, error) {
-	owner, err := a.Dev.L2POwner()
+	bindings, err := attack.Analyze(a.Dev, a.NS, attack.AnalyzeOptions{})
 	if err != nil {
-		return nil, fmt.Errorf("core: offline layout analysis impossible: %w", err)
+		return nil, err
 	}
-	region := a.Dev.FTL().L2PRegion()
-	mapper := a.Dev.DRAM().Mapper()
-	triples := dram.FindSameOwnerTriples(mapper, region, owner, a.NS.ID)
-	var plans []HammerPlan
-	for _, tr := range triples {
-		if p, ok := a.planFromTriple(tr, region); ok {
-			plans = append(plans, p)
-		}
-	}
-	a.attachDecoys(plans, region, owner)
-	if len(plans) == 0 {
-		return nil, errors.New("core: no same-partition triples under this mapping")
+	plans := make([]HammerPlan, len(bindings))
+	for i, b := range bindings {
+		plans[i] = planFromBinding(b)
 	}
 	return plans, nil
 }
 
-// HammerOptions tunes a hammering run.
+// HammerOptions tunes a hammering run. The boolean knobs (SingleSided,
+// OneLocation, SyncDecoy, CacheEvictLines) are the legacy way to select
+// an access pattern; they survive for compatibility but are deprecated
+// in favour of the declarative Pattern field.
 type HammerOptions struct {
 	// Pairs is the number of aggressor pairs to issue (2 reads each).
+	// With Pattern set it supplies Pattern.Iterations when that is zero.
 	Pairs int
+	// Pattern, when non-nil, declares the access pattern directly and
+	// takes precedence over the deprecated boolean knobs below.
+	Pattern *attack.Pattern
 	// SingleSided drops the second aggressor, replacing it with a far
 	// row to keep forcing activations.
+	//
+	// Deprecated: use Pattern = &attack.SinglePattern().
 	SingleSided bool
 	// OneLocation reads only one aggressor with no conflict partner
 	// (effective only against closed-row policies).
+	//
+	// Deprecated: use Pattern = &attack.OneLocationPattern().
 	OneLocation bool
 	// SyncDecoy interleaves a REF-synchronized decoy read (TRRespass/
 	// SMASH-style bypass). Requires the plan to carry a decoy.
+	//
+	// Deprecated: set attack.Pattern.SyncDecoy.
 	SyncDecoy bool
 	// CacheEvictLines, when non-zero, interleaves reads whose L2P
 	// entries alias each aggressor's set in a direct-mapped FTL cache of
@@ -193,101 +163,62 @@ type HammerOptions struct {
 	// speculation that "with more details about FTL memory access
 	// behavior, an attack could bypass the FTL-side cache". Linear L2P
 	// layout only.
+	//
+	// Deprecated: set attack.Pattern.CacheEvictLines.
 	CacheEvictLines int
 }
 
-// Hammer runs the read workload of §3.1 against one plan: strictly
-// ordinary reads, alternating between LBAs whose translations live in the
-// two aggressor rows.
-func (a *Attacker) Hammer(plan HammerPlan, opts HammerOptions) error {
-	if opts.Pairs <= 0 {
-		return errors.New("core: HammerOptions.Pairs must be positive")
-	}
-	sideA := plan.AggLBAs[0]
-	sideB := plan.AggLBAs[1]
-	if opts.OneLocation {
-		sideB = nil
-	} else if opts.SingleSided {
-		far, err := a.farLBA(plan)
-		if err != nil {
-			return err
+// Resolve collapses the options into one declarative attack.Pattern:
+// the Pattern field verbatim (with Pairs supplying missing iterations),
+// or the pattern the legacy boolean combination used to select.
+func (o HammerOptions) Resolve() (attack.Pattern, error) {
+	if o.Pattern != nil {
+		p := *o.Pattern
+		if p.Iterations == 0 {
+			p.Iterations = o.Pairs
 		}
-		sideB = []ftl.LBA{far}
+		return p, p.Validate()
 	}
-	var tREFI uint64
-	if opts.SyncDecoy {
-		if !plan.HasDecoy {
+	if o.Pairs <= 0 {
+		return attack.Pattern{}, errors.New("core: HammerOptions.Pairs must be positive")
+	}
+	var p attack.Pattern
+	switch {
+	case o.OneLocation:
+		p = attack.OneLocationPattern()
+	case o.SingleSided:
+		p = attack.SinglePattern()
+	default:
+		p = attack.DoublePattern()
+	}
+	p.Iterations = o.Pairs
+	p.SyncDecoy = o.SyncDecoy
+	p.CacheEvictLines = o.CacheEvictLines
+	return p, nil
+}
+
+// Hammer runs the read workload of §3.1 against one plan: strictly
+// ordinary reads whose L2P lookups activate the pattern's target rows.
+// It delegates to attack.DeviceHammerer; for every option combination
+// the legacy monolithic loop accepted, the issued command sequence is
+// identical.
+func (a *Attacker) Hammer(plan HammerPlan, opts HammerOptions) error {
+	pat, err := opts.Resolve()
+	if err != nil {
+		return err
+	}
+	if opts.Pattern == nil && !plan.HasDecoy {
+		// Legacy error texts for the decoy-dependent modes, in the order
+		// the monolithic loop hit them.
+		if opts.SingleSided && !opts.OneLocation {
+			return errors.New("core: no far row available for single-sided hammering")
+		}
+		if opts.SyncDecoy {
 			return errors.New("core: plan has no decoy row for SyncDecoy")
 		}
-		dcfg := a.Dev.DRAM().Config()
-		cpw := dcfg.TRR.CommandsPerWindow
-		if cpw <= 0 {
-			cpw = 8192
-		}
-		window := dcfg.RefreshWindow
-		if window == 0 {
-			window = 64 * sim.Millisecond
-		}
-		tREFI = uint64(window) / uint64(cpw)
 	}
-	// Cache eviction partners: an LBA exactly CacheEvictLines*16 entries
-	// away shares the direct-mapped set but differs in tag; reading it
-	// right before the aggressor evicts the aggressor's cached entry.
-	var evictA, evictB ftl.LBA
-	if opts.CacheEvictLines > 0 {
-		// Pin one LBA per side: the alias must keep hitting the same
-		// cache set as the hammered entry.
-		sideA = sideA[:1]
-		if len(sideB) > 0 {
-			sideB = sideB[:1]
-		}
-		delta := ftl.LBA(opts.CacheEvictLines) * 16 // entries per line
-		evictA = a.aliasLBA(sideA[0], delta)
-		if len(sideB) > 0 {
-			evictB = a.aliasLBA(sideB[0], delta)
-		}
-	}
-	clk := a.Dev.Clock()
-	// pairCost tracks how long one aggressor pair takes, for REF-boundary
-	// prediction (SMASH-style synchronization: REF commands are strictly
-	// periodic, so the attacker times a decoy to be the first activation
-	// after each boundary, claiming the TRR sampler slot).
-	var pairCost uint64
-	for i := 0; i < opts.Pairs; i++ {
-		if opts.SyncDecoy {
-			now := uint64(clk.Now())
-			next := (now/tREFI + 1) * tREFI
-			if now+2*pairCost >= next || pairCost == 0 {
-				// Sleep to the boundary, then fire the decoy so its
-				// row activation lands right after the REF command.
-				clk.AdvanceTo(sim.Time(next))
-				if _, err := a.Dev.Read(a.NS, plan.DecoyLBA, a.buf, a.Path); err != nil {
-					return err
-				}
-			}
-		}
-		pairStart := uint64(clk.Now())
-		if opts.CacheEvictLines > 0 {
-			// Eviction reads exist only for their cache side effect; a
-			// corrupt-translation error (from an earlier flip) does not
-			// matter — the lookup that errored already displaced the
-			// cached line.
-			_, _ = a.Dev.Read(a.NS, evictA, a.buf, a.Path)
-		}
-		if _, err := a.Dev.Read(a.NS, sideA[i%len(sideA)], a.buf, a.Path); err != nil {
-			return err
-		}
-		if len(sideB) > 0 {
-			if opts.CacheEvictLines > 0 {
-				_, _ = a.Dev.Read(a.NS, evictB, a.buf, a.Path)
-			}
-			if _, err := a.Dev.Read(a.NS, sideB[i%len(sideB)], a.buf, a.Path); err != nil {
-				return err
-			}
-		}
-		pairCost = uint64(clk.Now()) - pairStart
-	}
-	return nil
+	h := attack.DeviceHammerer{Dev: a.Dev, NS: a.NS, Path: a.Path, Buf: a.buf}
+	return h.Hammer(plan.Binding(), pat)
 }
 
 // aliasLBA returns an attacker LBA delta entries away (wrapping within the
@@ -295,16 +226,6 @@ func (a *Attacker) Hammer(plan HammerPlan, opts HammerOptions) error {
 func (a *Attacker) aliasLBA(lba, delta ftl.LBA) ftl.LBA {
 	n := ftl.LBA(a.NS.NumLBAs)
 	return (lba + delta) % n
-}
-
-// farLBA returns an attacker LBA whose entry is in the same bank as the
-// plan's aggressors but far from the victim row, used as the row-conflict
-// partner for single-sided hammering.
-func (a *Attacker) farLBA(plan HammerPlan) (ftl.LBA, error) {
-	if plan.HasDecoy {
-		return plan.DecoyLBA, nil
-	}
-	return 0, errors.New("core: no far row available for single-sided hammering")
 }
 
 // PrepareRange sequentially writes [start, start+count) in the attacker's

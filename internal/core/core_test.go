@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"ftlhammer/internal/attack"
 	"ftlhammer/internal/cloud"
 	"ftlhammer/internal/dram"
 	"ftlhammer/internal/ext4"
@@ -204,6 +205,65 @@ func TestAnalyzeCrossPartitionFindsPlans(t *testing.T) {
 	}
 	if decoys == 0 {
 		t.Fatal("no plan has a decoy row")
+	}
+}
+
+func TestAnalyzeSidesExtendsPlans(t *testing.T) {
+	tb := fastTestbed(t, nil)
+	atk := NewAttacker(tb.Device, tb.AttackerNS, nvme.PathDirect)
+	// The fast testbed's banks hold one spare far row beyond the decoy,
+	// so requesting 4 sides extends every plan to its natural max of 3.
+	plans, err := atk.AnalyzeCrossPartitionSides(tb.VictimNS.ID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := 0
+	for _, p := range plans {
+		if p.SideCount() > 4 {
+			t.Fatalf("plan extended past requested sidedness: %d", p.SideCount())
+		}
+		if p.SideCount() > 2 {
+			extended++
+		}
+		b := p.Binding()
+		if len(b.Sides) != p.SideCount() {
+			t.Fatalf("Binding lost sides: %d != %d", len(b.Sides), p.SideCount())
+		}
+		for _, side := range p.ExtraSides {
+			if len(side) == 0 {
+				t.Fatal("empty extra side")
+			}
+			for _, lba := range side {
+				if uint64(lba) >= tb.AttackerNS.NumLBAs {
+					t.Fatalf("extra-side LBA %d outside attacker namespace", lba)
+				}
+			}
+		}
+	}
+	if extended == 0 {
+		t.Fatal("no plan was extended past two sides")
+	}
+	for _, p := range plans {
+		if p.SideCount() != 3 {
+			continue
+		}
+		// A many-sided pattern runs on an extended plan...
+		pat := attack.ManyPattern(3)
+		if err := atk.Hammer(p, HammerOptions{Pairs: 100, Pattern: &pat}); err != nil {
+			t.Fatalf("many:3 on a 3-sided plan: %v", err)
+		}
+		// ...a pattern wider than the plan is rejected...
+		wide := attack.ManyPattern(4)
+		if err := atk.Hammer(p, HammerOptions{Pairs: 100, Pattern: &wide}); err == nil {
+			t.Fatal("many:4 accepted on a 3-sided plan")
+		}
+		// ...and clamping it to the plan's sidedness makes it runnable
+		// (the campaign's per-plan downgrade).
+		clamped := wide.ClampSides(p.SideCount())
+		if err := atk.Hammer(p, HammerOptions{Pairs: 100, Pattern: &clamped}); err != nil {
+			t.Fatalf("clamped many:4 on a 3-sided plan: %v", err)
+		}
+		break
 	}
 }
 

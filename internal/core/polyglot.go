@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+
+	"ftlhammer/internal/attack"
 )
 
 // Polyglot blocks (§3.2): blocks "that are valid as executable code, file
@@ -22,20 +24,19 @@ import (
 // once.
 
 // MaxPointerTargets is the fan-out of one indirect block.
-const MaxPointerTargets = 4096 / 4
+//
+// Deprecated: moved to attack.MaxPointerTargets with the ext4
+// indirect-block victim; this alias keeps the legacy API compiling.
+const MaxPointerTargets = attack.MaxPointerTargets
 
 // CraftPointerBlock builds a malicious single-indirect block whose slots
 // point at the given victim filesystem blocks. Unused slots stay zero
 // (holes).
+//
+// Deprecated: moved to attack.CraftPointerBlock with the ext4
+// indirect-block victim; this wrapper keeps the legacy API compiling.
 func CraftPointerBlock(targets []uint32) ([]byte, error) {
-	if len(targets) > MaxPointerTargets {
-		return nil, errors.New("core: too many pointer targets")
-	}
-	blk := make([]byte, 4096)
-	for i, t := range targets {
-		binary.LittleEndian.PutUint32(blk[i*4:], t)
-	}
-	return blk, nil
+	return attack.CraftPointerBlock(targets)
 }
 
 // CraftPolyglot builds a block that is simultaneously a valid pointer

@@ -16,8 +16,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -187,6 +187,21 @@ func TestDefensesParallelIdentical(t *testing.T) {
 	parallel := runOutput(t, "defenses", 8)
 	if serial != parallel {
 		t.Fatalf("defenses output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestFuzzParallelIdentical pins the pattern fuzzer — whose generations
+// fan evaluations across the trial engine via the RunBatch hook — to
+// the same guarantee: the same seed and the same patterns produce the
+// identical flip counts, guard verdicts and report at any worker count.
+func TestFuzzParallelIdentical(t *testing.T) {
+	serial := runOutput(t, "fuzz", 1)
+	parallel := runOutput(t, "fuzz", 8)
+	if serial != parallel {
+		t.Fatalf("fuzz output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "GUARD BYPASS FOUND") {
+		t.Fatalf("quick fuzz run found no bypass:\n%s", serial)
 	}
 }
 

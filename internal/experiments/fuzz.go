@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ftlhammer/internal/attack"
+	"ftlhammer/internal/obs"
+)
+
+// Fuzz runs the guard-bypass pattern fuzzer against the pinned golden
+// target: a trr:1-mitigated device behind an enforcing Bloom guard,
+// tuned so the classic double-sided hammer is silently blocked but
+// REF-synchronized and many-sided shapes can still flip bits without
+// drawing any guard reaction. The search is the attack.Fuzzer elitist
+// mutation loop; each generation's evaluations fan out across the trial
+// engine (one fresh device per pattern), so output is byte-identical at
+// any worker count (docs/ATTACKS.md).
+func Fuzz(w io.Writer, opt Options) error {
+	section(w, "FUZZ", "guard-bypass pattern search on the pinned trr:1 target")
+	target := attack.GoldenTarget()
+	gens, pop := 4, 8
+	if opt.Quick {
+		gens, pop = 3, 6
+	}
+	fz := &attack.Fuzzer{
+		Target:      target,
+		Seed:        attack.GoldenFuzzSeed,
+		Generations: gens,
+		Population:  pop,
+		Obs:         opt.Obs,
+		RunBatch: func(ps []attack.Pattern) ([]attack.Fitness, error) {
+			return runTrialsObs(opt, len(ps), func(i int, reg *obs.Registry) (attack.Fitness, error) {
+				return target.Evaluate(ps[i], reg)
+			})
+		},
+	}
+	rep, err := fz.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "target: seed %#x, mitigation trr:1, enforcing bloom guard, budget %d iterations\n\n",
+		uint64(attack.GoldenTargetSeed), 400)
+	fmt.Fprintf(w, "%-4s %-42s %6s %8s %7s %9s\n",
+		"gen", "best pattern", "flips", "stealth", "guard", "mit_refs")
+	for g, c := range rep.PerGeneration {
+		fmt.Fprintf(w, "%-4d %-42s %6d %8d %3d/%-3d %9d\n",
+			g, c.Pattern, c.Fitness.Flips, c.Fitness.StealthFlips(),
+			c.Fitness.Blacklists, c.Fitness.GuardViolations, c.Fitness.MitRefreshes)
+	}
+
+	base := rep.Baseline.Fitness
+	fmt.Fprintf(w, "\nbaseline double-sided: %s", base)
+	switch {
+	case base.Flips == 0 && base.GuardSilent():
+		fmt.Fprintf(w, "  (mitigation blocks it; the guard never even fires)\n")
+	case base.Flips == 0:
+		fmt.Fprintf(w, "  (blocked)\n")
+	default:
+		fmt.Fprintf(w, "  (NOT blocked — target mistuned)\n")
+	}
+	best := rep.Best
+	fmt.Fprintf(w, "winner (gen %d): %s  %s\n", best.Generation, best.Pattern, best.Fitness)
+	fmt.Fprintf(w, "evaluations: %d\n", rep.Evaluated)
+	if rep.Bypass() {
+		fmt.Fprintf(w, "verdict: GUARD BYPASS FOUND — %d flips with zero guard reaction while the naive pattern stays blocked\n",
+			best.Fitness.StealthFlips())
+	} else {
+		fmt.Fprintf(w, "verdict: no bypass found under this budget\n")
+	}
+	return nil
+}

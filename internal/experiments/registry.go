@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"faults", "docs/FAULTS.md", "robustness campaign: goodput and attack success vs injected fault rate", FaultsRobustness},
 		{"blast", "docs/FLEET.md", "fleet blast radius: placement bounds rowhammer reach to one device", Blast},
 		{"defenses", "docs/DEFENSES.md", "guard vs in-DRAM mitigation zoo: effectiveness and benign overhead under multi-tenant load", Defenses},
+		{"fuzz", "docs/ATTACKS.md", "guard-bypass pattern fuzzer: search for stealthy flips on the pinned trr:1 target", Fuzz},
 	}
 }
 

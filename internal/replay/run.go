@@ -5,6 +5,7 @@ import (
 
 	"ftlhammer/internal/nvme"
 	"ftlhammer/internal/obs"
+	"ftlhammer/internal/sim"
 )
 
 // Trace event kinds emitted by replay runs (documented in
@@ -65,13 +66,34 @@ func (e *HashMismatchError) Error() string {
 // ConfigDigest, or restored from a checkpoint taken at the recording's
 // start. Commands execute in order through the same Do path the
 // originals took; completions with errors are captured, not fatal.
-// A *EntryError aborts the run at the offending entry.
+// A *EntryError aborts the run at the offending entry. Entry ticks are
+// ignored: replay re-derives timing (use RunTimed when the recorded
+// workload's behaviour depends on when commands were issued).
 func Run(dev *nvme.Device, entries []Entry) (*Result, error) {
+	return run(dev, entries, false)
+}
+
+// RunTimed re-executes a trace like Run, but advances the device clock
+// to each entry's recorded Tick before issuing it (ticks are recorded
+// at submission time, before any state changes). This reproduces the
+// original timeline exactly, which matters for timing-sensitive
+// workloads: a REF-synchronized hammer pattern sleeps to refresh
+// boundaries between reads, and those sleeps exist only in the ticks.
+// Entries whose tick is already in the past issue immediately.
+func RunTimed(dev *nvme.Device, entries []Entry) (*Result, error) {
+	return run(dev, entries, true)
+}
+
+func run(dev *nvme.Device, entries []Entry, timed bool) (*Result, error) {
 	res := &Result{Errors: make([]string, 0, len(entries))}
+	clk := dev.Clock()
 	for i, e := range entries {
 		cmd, err := e.command(dev, uint64(i))
 		if err != nil {
 			return nil, &EntryError{Index: i, Msg: err.Error()}
+		}
+		if timed && sim.Time(e.Tick) > clk.Now() {
+			clk.AdvanceTo(sim.Time(e.Tick))
 		}
 		comp, err := dev.Do(cmd)
 		if err != nil {
@@ -102,7 +124,17 @@ func Run(dev *nvme.Device, entries []Entry) (*Result, error) {
 // diagnosis) when it does not. This is the golden-replay gate: a checked
 // -in trace plus its expected hash pins the simulation's behavior.
 func Verify(dev *nvme.Device, entries []Entry, want uint64) (*Result, error) {
-	res, err := Run(dev, entries)
+	return verify(dev, entries, want, false)
+}
+
+// VerifyTimed is Verify over RunTimed: the golden-replay gate for
+// timing-sensitive traces (golden attack patterns).
+func VerifyTimed(dev *nvme.Device, entries []Entry, want uint64) (*Result, error) {
+	return verify(dev, entries, want, true)
+}
+
+func verify(dev *nvme.Device, entries []Entry, want uint64, timed bool) (*Result, error) {
+	res, err := run(dev, entries, timed)
 	if err != nil {
 		return nil, err
 	}
