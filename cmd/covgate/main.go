@@ -1,0 +1,231 @@
+// Command covgate is the CI coverage-regression gate. It parses a Go
+// coverprofile (produced by `go test -coverprofile=cover.out ./internal/...`)
+// into per-package statement coverage and compares it against a
+// checked-in baseline (default COVERAGE_baseline.json):
+//
+//   - total statement coverage may not drop more than -tol points
+//     (default 2.0) below the baseline; rising never fails.
+//   - every baselined package is gated the same way individually, so a
+//     regression in one package cannot hide behind growth elsewhere.
+//   - a package present in the profile but missing from the baseline
+//     fails the gate (new code must be baselined), as does the reverse
+//     (a baselined package silently vanished).
+//
+// When $GITHUB_STEP_SUMMARY is set the gate also appends a markdown
+// coverage table there, so the numbers show up on the workflow run page
+// without digging through logs. Regenerate the baseline after an
+// intentional coverage change with:
+//
+//	go test -coverprofile=cover.out ./internal/...
+//	go run ./cmd/covgate -profile cover.out -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov is one package's statement-coverage tally.
+type pkgCov struct {
+	Covered int
+	Total   int
+}
+
+// pct converts a tally to percentage points; an empty package (no
+// statements in the profile) reads as 0, which the gate treats like any
+// other number rather than special-casing.
+func (p pkgCov) pct() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return 100 * float64(p.Covered) / float64(p.Total)
+}
+
+// baseline is the checked-in gate reference. Percentages are stored
+// rounded to one decimal so the JSON diffs stay readable.
+type baseline struct {
+	Schema   int                `json:"schema"`
+	TotalPct float64            `json:"total_pct"`
+	Packages map[string]float64 `json:"packages"`
+}
+
+// parseProfile reads a coverprofile and returns per-package tallies.
+// Profile lines look like:
+//
+//	ftlhammer/internal/ftl/ftl.go:10.20,12.2 3 1
+//
+// where the trailing fields are statement count and execution count.
+// Coverage is statement-weighted, matching `go tool cover -func`.
+func parseProfile(file string) (map[string]pkgCov, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	pkgs := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		colon := strings.LastIndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("covgate: malformed profile line %q", line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("covgate: malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("covgate: bad statement count in %q", line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("covgate: bad execution count in %q", line)
+		}
+		pkg := path.Dir(line[:colon])
+		pc := pkgs[pkg]
+		pc.Total += stmts
+		if count > 0 {
+			pc.Covered += stmts
+		}
+		pkgs[pkg] = pc
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("covgate: profile %s contains no coverage blocks", file)
+	}
+	return pkgs, nil
+}
+
+// round1 keeps baseline and report numbers to one decimal place.
+func round1(v float64) float64 {
+	s := strconv.FormatFloat(v, 'f', 1, 64)
+	r, _ := strconv.ParseFloat(s, 64)
+	return r
+}
+
+func main() {
+	var (
+		profile  = flag.String("profile", "cover.out", "coverprofile to gate")
+		basePath = flag.String("baseline", "COVERAGE_baseline.json", "baseline file to gate against")
+		tol      = flag.Float64("tol", 2.0, "allowed coverage drop in percentage points")
+		update   = flag.Bool("update", false, "rewrite the baseline from this profile instead of gating")
+	)
+	flag.Parse()
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(pkgs))
+	var total pkgCov
+	for name, pc := range pkgs {
+		names = append(names, name)
+		total.Covered += pc.Covered
+		total.Total += pc.Total
+	}
+	sort.Strings(names)
+
+	if *update {
+		b := baseline{Schema: 1, TotalPct: round1(total.pct()), Packages: map[string]float64{}}
+		for _, name := range names {
+			b.Packages[name] = round1(pkgs[name].pct())
+		}
+		out, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covgate:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*basePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "covgate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("covgate: baseline rewritten to %s (total %.1f%%, %d packages)\n",
+			*basePath, b.TotalPct, len(b.Packages))
+		return
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covgate:", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "covgate: parsing %s: %v\n", *basePath, err)
+		os.Exit(1)
+	}
+
+	var failures []string
+	var report strings.Builder
+	report.WriteString("| package | baseline | now | Δ |\n|---|---:|---:|---:|\n")
+	for _, name := range names {
+		got := round1(pkgs[name].pct())
+		want, ok := base.Packages[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: not in baseline (%.1f%% measured) — rebaseline with -update", name, got))
+			fmt.Fprintf(&report, "| %s | — | %.1f%% | new |\n", name, got)
+			fmt.Printf("%-40s      —  -> %5.1f%%  NEW (FAIL)\n", name, got)
+			continue
+		}
+		delta := got - want
+		status := "ok"
+		if delta < -*tol {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f%% -> %.1f%% (dropped %.1f points, tolerance %.1f)",
+				name, want, got, -delta, *tol))
+		}
+		fmt.Fprintf(&report, "| %s | %.1f%% | %.1f%% | %+.1f |\n", name, want, got, delta)
+		fmt.Printf("%-40s %5.1f%% -> %5.1f%%  %+.1f  %s\n", name, want, got, delta, status)
+	}
+	for name, want := range base.Packages {
+		if _, ok := pkgs[name]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: baselined at %.1f%% but absent from profile", name, want))
+		}
+	}
+	totalNow := round1(total.pct())
+	totalDelta := totalNow - base.TotalPct
+	if totalDelta < -*tol {
+		failures = append(failures, fmt.Sprintf(
+			"total: %.1f%% -> %.1f%% (dropped %.1f points, tolerance %.1f)",
+			base.TotalPct, totalNow, -totalDelta, *tol))
+	}
+	fmt.Fprintf(&report, "| **total** | %.1f%% | %.1f%% | %+.1f |\n",
+		base.TotalPct, totalNow, totalDelta)
+	fmt.Printf("%-40s %5.1f%% -> %5.1f%%  %+.1f\n", "total", base.TotalPct, totalNow, totalDelta)
+
+	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
+		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "## Coverage gate\n\n%s\n", report.String())
+			f.Close()
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "covgate: coverage regression:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("covgate: coverage within tolerance of baseline")
+}

@@ -27,6 +27,7 @@ import (
 	"ftlhammer/internal/obs"
 	"ftlhammer/internal/sim"
 	"ftlhammer/internal/stats"
+	"ftlhammer/internal/victims"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		mitigation = flag.String("mitigation", "none", "none | ecc | trr[:sampler] | para[:p] | refresh[:scale] | refresh2x | cache | ratelimit | hashed | extent-only | guard")
 		syncDecoys = flag.Bool("sync-decoys", false, "REF-synchronized decoy reads (TRR bypass)")
 		pattern    = flag.String("pattern", "", "hammer pattern: single | double | one-location | many:<n> | fuzzed:<seed> (empty: classic double-sided)")
+		victim     = flag.String("victim", "", "hammer a software victim instead of the leak campaign: fs | fs-hardened | kv | gc | gc-churn (docs/VICTIMS.md)")
+		iters      = flag.Int("iterations", 24000, "pattern iterations for -victim runs")
 		hunt       = flag.String("hunt", "victim-data-block-", "content marker to hunt for")
 		seed       = flag.Uint64("seed", 0xBEEF, "simulation seed")
 		verbose    = flag.Bool("v", false, "print device statistics")
@@ -171,36 +174,23 @@ func main() {
 		hopts.Pattern = &pat
 		fmt.Printf("hammer pattern: %s\n", pat)
 	}
-	camp, err := core.NewCampaign(tb, core.CampaignConfig{
-		SprayFiles:      *sprayFiles,
-		TargetsPerFile:  *targets,
-		MaxCycles:       *cycles,
-		TriplesPerCycle: *triples,
-		Hammer:          hopts,
-		Hunt:            *hunt,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	rep, err := camp.Run()
-	if err != nil {
-		fmt.Printf("campaign stopped: %v\n", err)
-	}
-	fmt.Printf("\ncycles:          %d\n", rep.Cycles)
-	fmt.Printf("spray files:     %d\n", rep.SpraysCreated)
-	fmt.Printf("hammer reads:    %d\n", rep.HammerReads)
-	fmt.Printf("bitflips:        %d\n", rep.FlipsInduced)
-	fmt.Printf("leaks detected:  %d\n", rep.LeaksDetected)
-	fmt.Printf("blocks dumped:   %d\n", rep.BlocksDumped)
-	fmt.Printf("virtual elapsed: %v\n", rep.Elapsed)
-	if rep.SecretFound {
-		excerpt := rep.SecretContent
-		if len(excerpt) > 40 {
-			excerpt = excerpt[:40]
+	if *victim != "" {
+		pat := attack.DoublePattern()
+		if hopts.Pattern != nil {
+			pat = *hopts.Pattern
 		}
-		fmt.Printf("RESULT: victim data LEAKED: %q...\n", excerpt)
+		pat.Iterations = *iters
+		if err := runVictim(tb, *victim, pat, reg); err != nil {
+			fatal(err)
+		}
 	} else {
-		fmt.Println("RESULT: no leak (attack unsuccessful under this configuration)")
+		runCampaign(tb, hopts, core.CampaignConfig{
+			SprayFiles:      *sprayFiles,
+			TargetsPerFile:  *targets,
+			MaxCycles:       *cycles,
+			TriplesPerCycle: *triples,
+			Hunt:            *hunt,
+		})
 	}
 	if robustOn {
 		rs := tb.Device.RobustStats()
@@ -266,6 +256,131 @@ func main() {
 				total-dropped, *trace, dropped)
 		}
 	}
+}
+
+// runCampaign executes the classic §3/§4 leak campaign and prints its
+// report.
+func runCampaign(tb *cloud.Testbed, hopts core.HammerOptions, ccfg core.CampaignConfig) {
+	ccfg.Hammer = hopts
+	camp, err := core.NewCampaign(tb, ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := camp.Run()
+	if err != nil {
+		fmt.Printf("campaign stopped: %v\n", err)
+	}
+	fmt.Printf("\ncycles:          %d\n", rep.Cycles)
+	fmt.Printf("spray files:     %d\n", rep.SpraysCreated)
+	fmt.Printf("hammer reads:    %d\n", rep.HammerReads)
+	fmt.Printf("bitflips:        %d\n", rep.FlipsInduced)
+	fmt.Printf("leaks detected:  %d\n", rep.LeaksDetected)
+	fmt.Printf("blocks dumped:   %d\n", rep.BlocksDumped)
+	fmt.Printf("virtual elapsed: %v\n", rep.Elapsed)
+	if rep.SecretFound {
+		excerpt := rep.SecretContent
+		if len(excerpt) > 40 {
+			excerpt = excerpt[:40]
+		}
+		fmt.Printf("RESULT: victim data LEAKED: %q...\n", excerpt)
+	} else {
+		fmt.Println("RESULT: no leak (attack unsuccessful under this configuration)")
+	}
+}
+
+// crossAllocator finds cross-partition bindings (attacker rows flanking
+// victim-owned translation rows, §4.2) and readies the fast-read path —
+// the placement the leak campaign uses, lifted into the Allocator shape
+// the pipeline wants.
+type crossAllocator struct {
+	victimNSID  int
+	maxBindings int
+}
+
+func (a crossAllocator) Allocate(dev *nvme.Device, ns *nvme.Namespace, path nvme.Path, sides int) ([]attack.Binding, error) {
+	bindings, err := attack.Analyze(dev, ns, attack.AnalyzeOptions{
+		VictimNSID: a.victimNSID,
+		Sides:      sides,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if a.maxBindings > 0 && len(bindings) > a.maxBindings {
+		bindings = bindings[:a.maxBindings]
+	}
+	for i := range bindings {
+		b := &bindings[i]
+		for s := range b.Sides {
+			b.Sides[s] = b.Sides[s][:1]
+			if err := dev.Trim(ns, b.Sides[s][0], path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bindings, nil
+}
+
+// runVictim drives one victim scenario from the internal/victims zoo
+// through the attack pipeline on the testbed device: arm the victim
+// stack in the victim tenant, hammer the pattern over cross-partition
+// bindings, and report what the software above the device observed
+// (docs/VICTIMS.md).
+func runVictim(tb *cloud.Testbed, kind string, pat attack.Pattern, reg *obs.Registry) error {
+	dev := tb.Device
+	pipe := &attack.Pipeline{
+		Dev: dev, NS: tb.AttackerNS, Path: nvme.PathDirect,
+		Alloc:       crossAllocator{victimNSID: tb.VictimNS.ID, maxBindings: 4},
+		Hammerer:    &attack.DeviceHammerer{Dev: dev, NS: tb.AttackerNS, Path: nvme.PathDirect},
+		MaxBindings: 4,
+		Obs:         reg,
+	}
+	var detail func() string
+	switch kind {
+	case "fs", "fs-hardened":
+		v := &victims.FSVictim{
+			Dev: dev, NS: tb.VictimNS, Path: nvme.PathDirect,
+			Journal: kind == "fs-hardened", MetaChecksum: kind == "fs-hardened",
+			Obs: reg,
+		}
+		pipe.Victim = v
+		detail = func() string { return v.Detail().String() }
+	case "kv":
+		v := &victims.KVVictim{Dev: dev, NS: tb.VictimNS, Path: nvme.PathDirect, Obs: reg}
+		pipe.Victim = v
+		detail = func() string { return v.Detail().String() }
+	case "gc", "gc-churn":
+		v := &victims.GCVictim{
+			Dev: dev, NS: tb.VictimNS, Path: nvme.PathDirect,
+			MaxLines: 2, NoInterleave: kind == "gc", Obs: reg,
+		}
+		pipe.Victim = v
+		if kind == "gc-churn" {
+			pipe.Hammerer = &victims.ChurnHammerer{
+				Inner: pipe.Hammerer, Dev: dev,
+				ChurnNS: tb.AttackerNS, Path: nvme.PathDirect,
+			}
+		}
+		detail = func() string { return v.Detail().String() }
+	default:
+		return fmt.Errorf("unknown victim %q (want fs | fs-hardened | kv | gc | gc-churn)", kind)
+	}
+	fmt.Printf("victim scenario: %s, pattern %s x%d\n", kind, pat, pat.Iterations)
+	res, err := pipe.Run(pat)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbindings:   %d hammered of %d\n", res.Hammered, res.Bindings)
+	fmt.Printf("bitflips:   %d (mitigation refreshes %d, guard blacklists %d)\n",
+		res.Flips, res.MitRefreshes, res.Blacklists)
+	fmt.Printf("victim:     checked=%d corrupted=%d remapped=%d\n",
+		res.Victim.Checked, res.Victim.Corrupted, res.Victim.Remapped)
+	fmt.Printf("detail:     %s\n", detail())
+	if res.Victim.Corrupted > 0 {
+		fmt.Println("RESULT: victim observed CORRUPTION")
+	} else {
+		fmt.Println("RESULT: victim intact under this configuration")
+	}
+	return nil
 }
 
 func fatal(err error) {

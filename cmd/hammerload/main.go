@@ -14,6 +14,13 @@
 //   - verify:  write tenant-tagged blocks, read each back, and count
 //     corruptions — any mapped read whose payload does not carry this
 //     tenant's tag and the block's own LBA
+//   - kv:      the KV-store victim's record workload (docs/VICTIMS.md) —
+//     append a CRC-framed record block, read it straight back, and count
+//     framing failures: lost keys (unmapped), misdirected keys (key echo
+//     mismatch) and corrupt records (bad magic/CRC) all count as corrupt
+//   - churn:   the GC-interaction victim's pressure workload — hash-random
+//     overwrites of a window at the top of the namespace, depleting the
+//     free pool so device garbage collection runs under load
 //
 // -aggressor-tenants pins specific tenants to the hammer pattern while
 // everyone else runs -pattern: the victim/aggressor co-placement mix the
@@ -38,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"runtime"
@@ -72,7 +80,7 @@ func main() {
 		tenants  = flag.Int("tenants", 4, "namespaces to spread sessions across (must be <= served tenants)")
 		ops      = flag.Int("ops", 2000, "commands per session")
 		batch    = flag.Int("batch", 16, "commands per doorbell batch")
-		pattern  = flag.String("pattern", "uniform", "workload: uniform | hammer | seq | verify")
+		pattern  = flag.String("pattern", "uniform", "workload: uniform | hammer | seq | verify | kv | churn")
 		readFrac = flag.Float64("read-frac", 0.8, "read fraction for the uniform pattern")
 		pathFlag = flag.String("path", "direct", "submission path: direct | host-fs")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
@@ -99,7 +107,7 @@ func main() {
 		fatal(fmt.Errorf("unknown path %q", *pathFlag))
 	}
 	switch *pattern {
-	case "uniform", "hammer", "seq", "verify":
+	case "uniform", "hammer", "seq", "verify", "kv", "churn":
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", *pattern))
 	}
@@ -188,7 +196,7 @@ func main() {
 	if reconnects > 0 {
 		fmt.Printf("reconnects: %d sessions redialed across drains/migrations\n", reconnects)
 	}
-	if *pattern == "verify" || len(aggressors) > 0 {
+	if *pattern == "verify" || *pattern == "kv" || len(aggressors) > 0 {
 		fmt.Printf("verify: %d corrupt reads\n", corrupt)
 	}
 	if all.N() > 0 {
@@ -359,6 +367,31 @@ func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p 
 				} else {
 					cmd.Op = nvme.OpRead
 				}
+			case "kv":
+				// The KV victim's record workload: append a CRC-framed
+				// record, then read it straight back. The framing (magic,
+				// key echo, CRC) turns any translation redirect into a loud
+				// lost/misdirected/corrupt verdict instead of silent data.
+				cmd.LBA = ftl.LBA((seq / 2) % numLBAs)
+				if seq%2 == 0 {
+					cmd.Op = nvme.OpWrite
+					kvStamp(bufs[i], cfg.NSID, uint64(cmd.LBA))
+				} else {
+					cmd.Op = nvme.OpRead
+				}
+			case "churn":
+				// The GC victim's pressure workload: hash-random overwrites
+				// of a window at the top of the namespace. Blocks lose
+				// validity gradually (as under a real random-update load),
+				// so the device's garbage collector must relocate live
+				// pages rather than erase fully-dead blocks for free.
+				span := numLBAs / 8
+				if span == 0 {
+					span = 1
+				}
+				cmd.Op = nvme.OpWrite
+				cmd.LBA = ftl.LBA(numLBAs - span + churnOffset(seq)%span)
+				stampBlock(bufs[i], cfg.NSID, uint64(cmd.LBA))
 			default: // uniform
 				cmd.LBA = ftl.LBA(p.rng.Uint64() % numLBAs)
 				if p.rng.Float64() < p.readFrac {
@@ -413,10 +446,19 @@ func runSession(ctx context.Context, addr string, cfg transport.ClientConfig, p 
 			if comp.Mapped {
 				res.mapped++
 			}
-			if p.pattern == "verify" && cmds[i].Op == nvme.OpRead &&
-				comp.Err == nil && comp.Mapped &&
-				!checkBlock(bufs[i], cfg.NSID, uint64(cmds[i].LBA)) {
-				res.corrupt++
+			if cmds[i].Op == nvme.OpRead && comp.Err == nil {
+				switch p.pattern {
+				case "verify":
+					if comp.Mapped && !checkBlock(bufs[i], cfg.NSID, uint64(cmds[i].LBA)) {
+						res.corrupt++
+					}
+				case "kv":
+					// A lost key (unmapped read of a just-written record)
+					// counts too: the index said the record exists.
+					if !comp.Mapped || !kvCheck(bufs[i], cfg.NSID, uint64(cmds[i].LBA)) {
+						res.corrupt++
+					}
+				}
 			}
 		}
 		done += n
@@ -438,6 +480,49 @@ func stampBlock(buf []byte, tenant int, lba uint64) {
 func checkBlock(buf []byte, tenant int, lba uint64) bool {
 	return binary.LittleEndian.Uint64(buf) == uint64(tenant) &&
 		binary.LittleEndian.Uint64(buf[8:]) == lba
+}
+
+// KV record framing for the kv pattern: magic u32, key u64, crc u32,
+// value fill after. The key encodes tenant and LBA, so records are
+// identical across sessions of the same tenant (concurrent overwrites
+// are benign, like verify's stamps) and a misdirected read fails the
+// key echo.
+const kvLoadMagic = 0x4B564C44 // "KVLD"
+
+var kvLoadTable = crc32.MakeTable(crc32.Castagnoli)
+
+func kvStamp(buf []byte, tenant int, lba uint64) {
+	key := uint64(tenant)<<32 | lba
+	for i := range buf {
+		buf[i] = byte(key) ^ 0x4B
+	}
+	binary.LittleEndian.PutUint32(buf, kvLoadMagic)
+	binary.LittleEndian.PutUint64(buf[4:], key)
+	crc := crc32.Checksum(buf[16:], kvLoadTable)
+	binary.LittleEndian.PutUint32(buf[12:], crc)
+}
+
+func kvCheck(buf []byte, tenant int, lba uint64) bool {
+	if binary.LittleEndian.Uint32(buf) != kvLoadMagic {
+		return false // corrupt record
+	}
+	if binary.LittleEndian.Uint64(buf[4:]) != uint64(tenant)<<32|lba {
+		return false // misdirected: someone else's record
+	}
+	return binary.LittleEndian.Uint32(buf[12:]) == crc32.Checksum(buf[16:], kvLoadTable)
+}
+
+// churnOffset maps the i-th churn write to a window offset by a
+// splitmix-style hash, so overwrites land uniformly rather than
+// cyclically (see victims.ChurnHammerer).
+func churnOffset(i uint64) uint64 {
+	x := i + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 func fatal(err error) {

@@ -79,7 +79,8 @@ func constStrings(pkg *ast.Package) map[string]string {
 // TestDocsTrackCode is the docs-drift gate: every observability event kind
 // registered anywhere in the tree (obs.RegisterEventKind's first argument,
 // resolved through Ev* constants) must be documented in docs/METRICS.md,
-// docs/FAULTS.md, docs/DEFENSES.md or docs/ATTACKS.md; every metric series name the code
+// docs/FAULTS.md, docs/DEFENSES.md, docs/ATTACKS.md or docs/VICTIMS.md;
+// every metric series name the code
 // creates (Counter/Gauge/Histogram first arguments, including obs.L labels
 // and the obs.go `add` helper idiom) must appear in docs/METRICS.md; and
 // every exported fault kind must be documented in docs/FAULTS.md. Adding
@@ -103,7 +104,12 @@ func TestDocsTrackCode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docs := string(metricsDoc) + string(faultsDoc) + string(defensesDoc) + string(attacksDoc)
+	victimsDoc, err := os.ReadFile(filepath.Join("docs", "VICTIMS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := string(metricsDoc) + string(faultsDoc) + string(defensesDoc) +
+		string(attacksDoc) + string(victimsDoc)
 
 	eventKinds := map[string]string{} // kind → declaring dir
 	series := map[string]string{}     // metric name → declaring dir
@@ -212,7 +218,7 @@ func TestDocsTrackCode(t *testing.T) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		if !strings.Contains(docs, k) {
-			t.Errorf("event kind %q (registered in %s) is documented in none of docs/METRICS.md, docs/FAULTS.md, docs/DEFENSES.md, docs/ATTACKS.md", k, eventKinds[k])
+			t.Errorf("event kind %q (registered in %s) is documented in none of docs/METRICS.md, docs/FAULTS.md, docs/DEFENSES.md, docs/ATTACKS.md, docs/VICTIMS.md", k, eventKinds[k])
 		}
 	}
 
@@ -446,6 +452,65 @@ func TestAttackAPIDocumented(t *testing.T) {
 	for _, k := range kinds {
 		if !strings.Contains(string(doc), "`"+k+"`") {
 			t.Errorf("attack event kind %q is not documented in docs/ATTACKS.md", k)
+		}
+	}
+}
+
+// TestVictimsAPIDocumented is the victim-zoo doc gate: every exported
+// type of internal/victims (the victim stacks, their detail structs,
+// and the churn driver) and every event kind it registers (Ev* string
+// constants) must be documented in docs/VICTIMS.md. Adding a victim or
+// a victim event without documenting it fails CI.
+func TestVictimsAPIDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "VICTIMS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "victims"), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types, kinds []string
+	for _, pkg := range pkgs {
+		for name, v := range constStrings(pkg) {
+			if strings.HasPrefix(name, "Ev") && ast.IsExported(name) {
+				kinds = append(kinds, v)
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if ok && ast.IsExported(ts.Name.Name) {
+						types = append(types, ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	if len(types) < 5 {
+		t.Fatalf("found only %d exported types in internal/victims; the lint is miswired", len(types))
+	}
+	if len(kinds) < 1 {
+		t.Fatalf("found only %d exported event-kind constants in internal/victims; the lint is miswired", len(kinds))
+	}
+	sort.Strings(types)
+	sort.Strings(kinds)
+	for _, name := range types {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("exported victims type %s is not documented in docs/VICTIMS.md", name)
+		}
+	}
+	for _, k := range kinds {
+		if !strings.Contains(string(doc), "`"+k+"`") {
+			t.Errorf("victims event kind %q is not documented in docs/VICTIMS.md", k)
 		}
 	}
 }

@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"blast", "docs/FLEET.md", "fleet blast radius: placement bounds rowhammer reach to one device", Blast},
 		{"defenses", "docs/DEFENSES.md", "guard vs in-DRAM mitigation zoo: effectiveness and benign overhead under multi-tenant load", Defenses},
 		{"fuzz", "docs/ATTACKS.md", "guard-bypass pattern fuzzer: search for stealthy flips on the pinned trr:1 target", Fuzz},
+		{"victims", "docs/VICTIMS.md", "victim scenario zoo: what software above the device observes", Victims},
 	}
 }
 

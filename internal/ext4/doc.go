@@ -15,7 +15,12 @@
 // filesystem reads back.
 //
 // The implementation is deliberately compact: one block group, write
-// through, no journal. It still enforces UNIX permissions (the victim's
-// secrets are mode-0600 root files), hierarchical directories, sparse
-// files with holes, and hard-link counts.
+// through. It still enforces UNIX permissions (the victim's secrets are
+// mode-0600 root files), hierarchical directories, sparse files with
+// holes, and hard-link counts. Two hardened modes exist for the §5
+// "does integrity protection stop the leak?" study: MkfsOptions.
+// MetaChecksum stamps every inode record with a keyed CRC-32C, and
+// JournalDevice (WrapJournal) adds a physical-block write-ahead journal
+// with commit records and replay-on-open, so crashes and detected
+// corruption roll back instead of tearing the volume.
 package ext4

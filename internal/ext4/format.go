@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Magic identifies a formatted volume.
@@ -56,6 +57,9 @@ var (
 	ErrNameTooLong  = errors.New("ext4: name too long")
 	ErrChecksum     = errors.New("ext4: extent tree checksum mismatch")
 	ErrIndirectOff  = errors.New("ext4: indirect addressing disabled by policy")
+	// ErrInodeChecksum reports an inode record whose CRC-32C does not
+	// match — a detected metadata corruption (MetaChecksum volumes only).
+	ErrInodeChecksum = errors.New("ext4: inode checksum mismatch")
 )
 
 // BlockDevice is the storage a filesystem lives on. Block addresses are
@@ -92,6 +96,10 @@ type superblock struct {
 	// forbidIndirect is the §5 software mitigation: refuse to create
 	// indirect-addressed files.
 	forbidIndirect bool
+	// metaChecksum enables CRC-32C protection of inode records (extent
+	// leaves are always checksummed): the §5 "does checksumming stop the
+	// leak?" configuration.
+	metaChecksum bool
 }
 
 func (sb *superblock) encode(buf []byte) {
@@ -112,6 +120,9 @@ func (sb *superblock) encode(buf []byte) {
 	if sb.forbidIndirect {
 		buf[72] = 1
 	}
+	if sb.metaChecksum {
+		buf[73] = 1
+	}
 }
 
 func (sb *superblock) decode(buf []byte) error {
@@ -130,7 +141,35 @@ func (sb *superblock) decode(buf []byte) error {
 	sb.itableLen = le.Uint64(buf[56:])
 	sb.dataStart = le.Uint64(buf[64:])
 	sb.forbidIndirect = buf[72] == 1
+	sb.metaChecksum = buf[73] == 1
 	return nil
+}
+
+// binaryLE is the byte order of every on-disk structure.
+var binaryLE = binary.LittleEndian
+
+// inodeChecksumOff is where the CRC-32C of an inode record is stored:
+// the last 4 bytes, computed over the first inodeChecksumOff bytes keyed
+// by the inode number (mirroring the extent-leaf scheme).
+const inodeChecksumOff = InodeSize - 4
+
+// inodeChecksum computes the record checksum for MetaChecksum volumes.
+func inodeChecksum(ino uint32, rec []byte) uint32 {
+	var seed [4]byte
+	binary.LittleEndian.PutUint32(seed[:], ino)
+	crc := crc32.Update(0, crcTable, seed[:])
+	return crc32.Update(crc, crcTable, rec[:inodeChecksumOff])
+}
+
+// zeroRecord reports an all-zero inode record (a never-written table
+// slot, which carries no checksum).
+func zeroRecord(rec []byte) bool {
+	for _, b := range rec {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // inode is the in-memory form of an on-disk inode.

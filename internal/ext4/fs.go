@@ -24,6 +24,11 @@ type MkfsOptions struct {
 	// ForbidIndirect enables the §5 software mitigation: only
 	// checksummed extent addressing is allowed.
 	ForbidIndirect bool
+	// MetaChecksum stamps every inode record with a CRC-32C keyed by
+	// its inode number and verifies it on every read, so a rowhammer
+	// redirect of an inode-table block is detected instead of silently
+	// honoured (extent leaves are always checksummed).
+	MetaChecksum bool
 }
 
 // Mkfs formats the device and creates the root directory.
@@ -47,6 +52,7 @@ func Mkfs(dev BlockDevice, opts MkfsOptions) error {
 	sb.numBlocks = nb
 	sb.inodeCount = inodes
 	sb.forbidIndirect = opts.ForbidIndirect
+	sb.metaChecksum = opts.MetaChecksum
 	sb.blockBMStart = 1
 	sb.blockBMLen = (nb + BlockSize*8 - 1) / (BlockSize * 8)
 	sb.inodeBMStart = sb.blockBMStart + sb.blockBMLen
@@ -124,6 +130,16 @@ func (fs *FS) Device() BlockDevice { return fs.dev }
 // active on this volume.
 func (fs *FS) ForbidsIndirect() bool { return fs.sb.forbidIndirect }
 
+// MetaChecksums reports whether inode records are CRC-protected.
+func (fs *FS) MetaChecksums() bool { return fs.sb.metaChecksum }
+
+// InodeTableRange returns the volume-relative block range [start,
+// start+length) holding the inode table — the metadata surface the
+// MetaChecksum mode protects, exported so attack scenarios can aim at it.
+func (fs *FS) InodeTableRange() (start, length uint64) {
+	return fs.sb.itableStart, fs.sb.itableLen
+}
+
 // --- inode table ---
 
 func (fs *FS) inodeLoc(ino uint32) (blk uint64, off int, err error) {
@@ -142,7 +158,14 @@ func (fs *FS) readInode(ino uint32, in *inode) error {
 	if err := fs.dev.ReadBlock(blk, fs.buf); err != nil {
 		return err
 	}
-	in.decode(fs.buf[off : off+InodeSize])
+	rec := fs.buf[off : off+InodeSize]
+	if fs.sb.metaChecksum && !zeroRecord(rec) {
+		le := binaryLE
+		if le.Uint32(rec[inodeChecksumOff:]) != inodeChecksum(ino, rec) {
+			return fmt.Errorf("inode %d: %w", ino, ErrInodeChecksum)
+		}
+	}
+	in.decode(rec)
 	return nil
 }
 
@@ -154,7 +177,11 @@ func (fs *FS) writeInode(ino uint32, in *inode) error {
 	if err := fs.dev.ReadBlock(blk, fs.buf); err != nil {
 		return err
 	}
-	in.encode(fs.buf[off : off+InodeSize])
+	rec := fs.buf[off : off+InodeSize]
+	in.encode(rec)
+	if fs.sb.metaChecksum {
+		binaryLE.PutUint32(rec[inodeChecksumOff:], inodeChecksum(ino, rec))
+	}
 	return fs.dev.WriteBlock(blk, fs.buf)
 }
 

@@ -2,6 +2,7 @@ package ext4
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -46,6 +47,10 @@ func (fs *FS) fsckDir(ino uint32, r *FsckReport, seenBlocks map[uint32]uint32, s
 	r.DirsSeen++
 	var in inode
 	if err := fs.readInode(ino, &in); err != nil {
+		if errors.Is(err, ErrInodeChecksum) {
+			r.problem("directory inode %d: %v", ino, err)
+			return nil
+		}
 		return err
 	}
 	if !in.isDir() {
@@ -80,6 +85,10 @@ func (fs *FS) fsckDir(ino uint32, r *FsckReport, seenBlocks map[uint32]uint32, s
 		r.FilesSeen++
 		var fin inode
 		if err := fs.readInode(e.Ino, &fin); err != nil {
+			if errors.Is(err, ErrInodeChecksum) {
+				r.problem("file inode %d: %v", e.Ino, err)
+				continue
+			}
 			return err
 		}
 		if !fin.isFile() {

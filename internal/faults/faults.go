@@ -40,6 +40,13 @@ const (
 	// device, but the host never hears back and must reconnect). Region
 	// addresses are transport session IDs.
 	KindConnReset
+	// KindDRAMBitFlip flips one bit of an L2P entry as it is loaded from
+	// controller DRAM and writes the flipped value back — a synthetic,
+	// precisely-aimed rowhammer flip (the organic flips come from the
+	// DRAM model; this kind lets experiments choose exactly which
+	// translation breaks). Region addresses are DRAM physical byte
+	// addresses over the linear L2P table.
+	KindDRAMBitFlip
 
 	numKinds
 )
@@ -59,6 +66,8 @@ func (k Kind) String() string {
 		return "ecc-uncorrectable"
 	case KindConnReset:
 		return "conn-reset"
+	case KindDRAMBitFlip:
+		return "dram-bitflip"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

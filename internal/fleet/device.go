@@ -30,6 +30,11 @@ type DeviceSpec struct {
 	// FaultRate drives the standard device fault mix (faults.RatePlan);
 	// non-zero implies the robustness policy.
 	FaultRate float64
+	// Faults, when non-nil, is an explicit injection plan used INSTEAD
+	// of the FaultRate-derived mix (ConnFaultRate still composes on
+	// top). Experiments use it to aim single deterministic faults —
+	// e.g. one KindDRAMBitFlip at a chosen L2P entry.
+	Faults *faults.Plan
 	// ConnFaultRate adds per-batch connection resets for the transport.
 	ConnFaultRate float64
 	// Robust enables the NVMe retry/timeout/degradation policy even at
@@ -140,6 +145,9 @@ func (sp DeviceSpec) Build(seed uint64, reg *obs.Registry) (*BuiltDevice, error)
 	dcfg.Seed = seed
 
 	plan := faults.RatePlan(sp.FaultRate)
+	if sp.Faults != nil {
+		plan = *sp.Faults
+	}
 	if sp.ConnFaultRate > 0 {
 		plan = plan.With(faults.Rule{Kind: faults.KindConnReset, Probability: sp.ConnFaultRate})
 	}

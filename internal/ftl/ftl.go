@@ -95,7 +95,20 @@ type Stats struct {
 	// often the mapping structure in device DRAM was consulted — the
 	// access stream the paper's attack rides on (§4.1).
 	L2PLookups uint64
+	// InjectedFlips counts KindDRAMBitFlip faults applied to entries —
+	// the synthetic rowhammer flips experiments aim at chosen LBAs.
+	InjectedFlips uint64
 }
+
+// injectedFlipByte/injectedFlipBit locate the bit a KindDRAMBitFlip
+// corrupts in the 4-byte entry: bit 4 of the low byte redirects the
+// translation by 16 physical pages — far enough to land on another
+// tenant's data, small enough to stay in range on any realistic
+// geometry (matching the paper's single-bit L2P redirect, §3.2).
+const (
+	injectedFlipByte = 0
+	injectedFlipBit  = 4
+)
 
 // FTL is the translation layer. It is not safe for concurrent use; it
 // inherits the simulation World of the DRAM module it is built over.
@@ -298,6 +311,17 @@ func (f *FTL) loadEntry(lba LBA) (nand.PPN, error) {
 	}
 	f.amplify(addr)
 	f.touchFirmware(lba)
+	if hit, _ := f.inj.Decide(faults.KindDRAMBitFlip, addr); hit {
+		// A synthetic rowhammer flip: corrupt the entry in DRAM itself
+		// (like a real flip it persists until the entry is rewritten)
+		// and serve the corrupted translation.
+		raw[injectedFlipByte] ^= 1 << injectedFlipBit
+		f.stats.InjectedFlips++
+		if err := f.dram.Write(addr, raw[:]); err != nil {
+			f.stats.UncorrectedECC++
+			return nand.InvalidPPN, err
+		}
+	}
 	v := binary.LittleEndian.Uint32(raw[:])
 	if f.cache != nil {
 		f.cache.put(addr, v)

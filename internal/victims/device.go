@@ -1,0 +1,53 @@
+package victims
+
+import (
+	"ftlhammer/internal/ext4"
+	"ftlhammer/internal/ftl"
+	"ftlhammer/internal/nvme"
+	"ftlhammer/internal/obs"
+)
+
+// EvVerdict summarizes one victim Check: A = units checked, B = units
+// with attacker-visible corruption, C = units where the corruption was
+// DETECTED (checksum mismatch or loud device error) rather than silent.
+const EvVerdict = "victims.verdict"
+
+func init() {
+	obs.RegisterEventKind(EvVerdict, "checked", "corrupted", "detected")
+}
+
+func emitVerdict(reg *obs.Registry, dev *nvme.Device, checked, corrupted, detected int) {
+	if reg != nil {
+		reg.Emit(uint64(dev.Clock().Now()), EvVerdict,
+			int64(checked), int64(corrupted), int64(detected))
+	}
+}
+
+// NSDevice adapts one NVMe namespace to ext4.BlockDevice: volume block
+// addresses map 1:1 onto namespace-relative LBAs, so a filesystem block
+// number IS the LBA the attack's DRAM targeting math needs.
+type NSDevice struct {
+	Dev  *nvme.Device
+	NS   *nvme.Namespace
+	Path nvme.Path
+}
+
+var _ ext4.BlockDevice = (*NSDevice)(nil)
+
+// ReadBlock implements ext4.BlockDevice. An unmapped (trimmed or
+// never-written) LBA reads as zeroes, like a thin-provisioned volume.
+func (d *NSDevice) ReadBlock(lba uint64, buf []byte) error {
+	_, err := d.Dev.Read(d.NS, ftl.LBA(lba), buf, d.Path)
+	return err
+}
+
+// WriteBlock implements ext4.BlockDevice.
+func (d *NSDevice) WriteBlock(lba uint64, data []byte) error {
+	return d.Dev.Write(d.NS, ftl.LBA(lba), data, d.Path)
+}
+
+// NumBlocks implements ext4.BlockDevice.
+func (d *NSDevice) NumBlocks() uint64 { return d.NS.NumLBAs }
+
+// BlockBytes implements ext4.BlockDevice.
+func (d *NSDevice) BlockBytes() int { return d.Dev.BlockBytes() }

@@ -1,0 +1,26 @@
+// Package victims is the scenario zoo for the question the paper leaves
+// open in §5: once a rowhammer flip lands in the FTL's L2P table, what
+// does the software ABOVE the device actually observe? Each victim here
+// implements attack.Victim, so the existing allocate → arm → hammer →
+// check Pipeline drives it unchanged:
+//
+//   - FSVictim mounts an ext4 volume — optionally journaled
+//     (ext4.WrapJournal) and inode-checksummed (MkfsOptions.
+//     MetaChecksum) — over the victim namespace and classifies every
+//     probe file as clean, DETECTED (checksum or loud device error) or
+//     SILENT corruption, answering "does checksumming stop the leak?".
+//   - KVVictim runs an append-only key-value store (in-memory index,
+//     CRC-framed records, direct-mapped page cache) whose corruption
+//     surface is lost or misdirected keys rather than block pointers;
+//     its steady-state Get is allocation-free, matching the repo's
+//     zero-alloc hot-path contract.
+//   - GCVictim and ChurnHammerer measure the FTL-GC interaction:
+//     churn writes between hammer rounds force garbage collection to
+//     relocate victim pages mid-attack, and Check separates benign
+//     relocation (translation rewritten, content intact — exposure
+//     RESET) from real corruption (exposure retained or amplified).
+//
+// Every victim is deterministic under a fixed seed; the victims
+// experiment (docs/VICTIMS.md) assembles them into a scorecard that is
+// byte-identical at any -parallel worker count.
+package victims
